@@ -1,0 +1,106 @@
+package repro_test
+
+// Ablation benchmarks for the numeric design choices DESIGN.md calls out:
+// the U* solver's grid resolution, the quadrature's composite panel start,
+// and the closed-form vs generic estimator paths. Run with
+//
+//	go test -bench=Ablation -benchmem
+//
+// The companion tests assert that the cheap settings stay within tolerance
+// of the expensive ones, so the defaults are justified rather than assumed.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/funcs"
+	"repro/internal/numeric"
+	"repro/internal/sampling"
+)
+
+func ustarAtResolution(n int) float64 {
+	scheme := sampling.UniformTuple(2)
+	f, _ := funcs.NewRGPlus(1.5)
+	o := scheme.Sample([]float64{0.6, 0.2}, 0.35)
+	return core.UStarAt(funcs.OutcomeFamily(f, o), o.Rho, core.Grid{N: n})
+}
+
+func BenchmarkAblationUStarGrid100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ustarAtResolution(100)
+	}
+}
+
+func BenchmarkAblationUStarGrid400(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ustarAtResolution(400)
+	}
+}
+
+func BenchmarkAblationUStarGrid1600(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = ustarAtResolution(1600)
+	}
+}
+
+func TestAblationUStarGridConvergence(t *testing.T) {
+	// The estimate should be grid-stable: the cheap default within 2% of
+	// the expensive reference.
+	coarse := ustarAtResolution(100)
+	ref := ustarAtResolution(1600)
+	if math.Abs(coarse-ref) > 0.02*(1+math.Abs(ref)) {
+		t.Errorf("U* grid ablation: N=100 gives %g, N=1600 gives %g", coarse, ref)
+	}
+}
+
+func BenchmarkAblationQuadratureDefault(b *testing.B) {
+	f := func(x float64) float64 { return math.Sqrt(x) * math.Sin(3*x) }
+	for i := 0; i < b.N; i++ {
+		_, _ = numeric.IntegrateOpt(f, 0, 1, numeric.QuadOptions{})
+	}
+}
+
+func BenchmarkAblationQuadratureLooseTol(b *testing.B) {
+	f := func(x float64) float64 { return math.Sqrt(x) * math.Sin(3*x) }
+	for i := 0; i < b.N; i++ {
+		_, _ = numeric.IntegrateOpt(f, 0, 1, numeric.QuadOptions{AbsTol: 1e-6, RelTol: 1e-5})
+	}
+}
+
+func BenchmarkAblationClosedFormVsGeneric(b *testing.B) {
+	// The closed-form dispatch is the reason dataset-scale estimation is
+	// cheap; this pairs with BenchmarkLStarClosedForm/GenericQuadrature to
+	// quantify the gap for the same outcome.
+	scheme := sampling.UniformTuple(2)
+	f, _ := funcs.NewRGPlus(2)
+	o := scheme.Sample([]float64{0.6, 0.2}, 0.35)
+	b.Run("closed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, _ = f.LStarClosed(o)
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		lb := funcs.OutcomeLB(f, o)
+		for i := 0; i < b.N; i++ {
+			_ = core.LStarAt(lb, o.Rho)
+		}
+	})
+}
+
+func TestAblationClosedFormAgreesWithGeneric(t *testing.T) {
+	scheme := sampling.UniformTuple(2)
+	f, err := funcs.NewRGPlus(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := scheme.Sample([]float64{0.6, 0.2}, 0.35)
+	closed, ok := f.LStarClosed(o)
+	if !ok {
+		t.Fatal("closed form expected")
+	}
+	generic := core.LStarAt(funcs.OutcomeLB(f, o), o.Rho)
+	if !numeric.EqualWithin(closed, generic, 1e-6) {
+		t.Errorf("closed %g vs generic %g", closed, generic)
+	}
+}

@@ -1,0 +1,202 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/funcs"
+	"repro/internal/sampling"
+)
+
+// ---- One benchmark per paper table/figure (DESIGN.md experiment index).
+// Quick configurations keep single iterations bounded; the benchmarks both
+// time the harness and guard against regressions (any internal consistency
+// failure aborts the run).
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(experiments.Config{Quick: true, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1ExampleQueries(b *testing.B)     { benchExperiment(b, "E1") }
+func BenchmarkE2CoordinatedPPS(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkF3LowerBoundSeries(b *testing.B)   { benchExperiment(b, "F3") }
+func BenchmarkF4EstimateSeries(b *testing.B)     { benchExperiment(b, "F4") }
+func BenchmarkE5OrderOptimal(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkT41TightnessSweep(b *testing.B)    { benchExperiment(b, "T41") }
+func BenchmarkRATCompetitiveRatios(b *testing.B) { benchExperiment(b, "RAT") }
+func BenchmarkDOMLStarVsHT(b *testing.B)         { benchExperiment(b, "DOM") }
+func BenchmarkLPDifferenceStudy(b *testing.B)    { benchExperiment(b, "LP") }
+func BenchmarkSIMCloseness(b *testing.B)         { benchExperiment(b, "SIM") }
+func BenchmarkUNIVRatioBounds(b *testing.B)      { benchExperiment(b, "UNIV") }
+func BenchmarkCOOCoordination(b *testing.B)      { benchExperiment(b, "COO") }
+func BenchmarkJACJaccard(b *testing.B)           { benchExperiment(b, "JAC") }
+
+// ---- Micro-benchmarks of the core building blocks.
+
+func BenchmarkLStarClosedForm(b *testing.B) {
+	scheme := repro.UniformTuple(2)
+	f, err := repro.NewRGPlus(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := scheme.Sample([]float64{0.6, 0.2}, 0.35)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = repro.EstimateLStar(f, o)
+	}
+}
+
+func BenchmarkLStarGenericQuadrature(b *testing.B) {
+	scheme := repro.UniformTuple(2)
+	f, err := repro.NewRGPlus(1.5) // no exact antiderivative: quadrature path
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := scheme.Sample([]float64{0.6, 0.2}, 0.35)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = repro.EstimateLStar(f, o)
+	}
+}
+
+func BenchmarkLStarStepForm(b *testing.B) {
+	steps := []core.Step{{At: 0.5, Delta: 1}, {At: 0.25, Delta: 0.5}, {At: 0.1, Delta: 2}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = core.LStarStep(0, steps, 0.3)
+	}
+}
+
+func BenchmarkUStarBackwardSolver(b *testing.B) {
+	// p = 1.5 above the sampling threshold has no closed form, so this
+	// exercises the backward solver (below the threshold, Example 4's
+	// closed forms cover all p and the solver never runs).
+	scheme, err := sampling.NewTupleScheme([]float64{0.5, 0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := funcs.NewRGPlus(1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := scheme.Sample([]float64{1.2, 0.3}, 0.35)
+	g := core.Grid{N: 200}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = funcs.EstimateUStar(f, o, g)
+	}
+}
+
+func BenchmarkVOptimalHull(b *testing.B) {
+	scheme := sampling.UniformTuple(2)
+	f, err := funcs.NewRGPlus(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lb := funcs.DataLB(f, scheme, []float64{0.6, 0.2})
+	g := core.Grid{Breaks: []float64{0.2, 0.6}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.VOptimalHull(lb, 0.4, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoordinatedSampling(b *testing.B) {
+	data := repro.StableDataset(repro.StableConfig{N: 10000, Seed: 1})
+	scheme := repro.UniformTuple(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.SampleCoordinated(data, nil, scheme, repro.NewSeedHash(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSumEstimateLStar(b *testing.B) {
+	data := repro.StableDataset(repro.StableConfig{N: 10000, Seed: 1})
+	scheme := repro.UniformTuple(2)
+	f, err := repro.NewRG(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := repro.SampleCoordinated(data, nil, scheme, repro.NewSeedHash(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.EstimateSum(f, repro.KindLStar, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkADSBuild(b *testing.B) {
+	g, err := repro.PreferentialAttachment(300, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.BuildSketches(g, 8, repro.NewSeedHash(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimilarityEstimate(b *testing.B) {
+	g, err := repro.PreferentialAttachment(300, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sketches, err := repro.BuildSketches(g, 16, repro.NewSeedHash(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = repro.EstimateSimilarity(sketches[i%300], sketches[(i*7+1)%300], repro.AlphaInverse)
+	}
+}
+
+func BenchmarkOrderOptimalEstimator(b *testing.B) {
+	scheme, err := repro.NewOrderScheme([]float64{1, 2, 3}, []float64{0.2, 0.5, 0.9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := func(v []float64) float64 {
+		if v[0] > v[1] {
+			return v[0] - v[1]
+		}
+		return 0
+	}
+	domain := repro.GridDomain(scheme, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est, err := repro.NewOrderEstimator(repro.OrderProblem{
+			Scheme: scheme, F: f, Domain: domain, Less: repro.LessByF(f),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = est.Estimate([]float64{3, 1}, 0.3)
+	}
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if err := run(80, 4, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadGraph(t *testing.T) {
+	if err := run(2, 4, 1, 1); err == nil {
+		t.Error("n ≤ m should fail")
+	}
+}

@@ -1,0 +1,60 @@
+// Command mesfig emits the paper's figure series (Examples 3 and 4) as CSV
+// files, one per panel, suitable for plotting with any tool.
+//
+// Usage:
+//
+//	mesfig [-out DIR] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	out := flag.String("out", "figures", "output directory for CSV files")
+	quick := flag.Bool("quick", false, "coarser sampling grid")
+	flag.Parse()
+
+	if err := run(*out, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "mesfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, quick bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	cfg := experiments.Config{Quick: quick}
+	for _, id := range []string{"F3", "F4"} {
+		exp, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		res, err := exp.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("running %s: %w", id, err)
+		}
+		for _, fig := range res.Figures {
+			path := filepath.Join(dir, fig.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("creating %s: %w", path, err)
+			}
+			if err := fig.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("closing %s: %w", path, err)
+			}
+			fmt.Printf("wrote %s (%d curves)\n", path, len(fig.Curves))
+		}
+	}
+	return nil
+}

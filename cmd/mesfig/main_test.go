@@ -1,0 +1,20 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesAllPanels(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "F*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 6 { // 3 panels × {F3, F4}
+		t.Errorf("want 6 panel CSVs, got %d: %v", len(matches), matches)
+	}
+}

@@ -1,0 +1,103 @@
+// Command mesrun runs the paper-reproduction experiments and prints their
+// tables; figures are summarized (use mesfig for full series CSV).
+//
+// Usage:
+//
+//	mesrun [-quick] [-seed N] [-csv DIR] [ID ...]
+//
+// With no IDs, every experiment in DESIGN.md's index runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced workloads")
+	seed := flag.Int64("seed", 1, "randomness seed")
+	csvDir := flag.String("csv", "", "also write tables as CSV under this directory")
+	flag.Parse()
+
+	if err := run(*quick, *seed, *csvDir, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "mesrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, seed int64, csvDir string, ids []string) error {
+	cfg := experiments.Config{Quick: quick, Seed: seed}
+	var list []experiments.Experiment
+	if len(ids) == 0 {
+		list = experiments.All()
+	} else {
+		for _, id := range ids {
+			e, err := experiments.ByID(strings.ToUpper(id))
+			if err != nil {
+				return err
+			}
+			list = append(list, e)
+		}
+	}
+	for _, e := range list {
+		fmt.Printf("--- %s: %s\n", e.ID, e.Title)
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("running %s: %w", e.ID, err)
+		}
+		for _, tbl := range res.Tables {
+			if err := tbl.Render(os.Stdout); err != nil {
+				return err
+			}
+		}
+		for _, fig := range res.Figures {
+			fmt.Printf("[figure %s: %s — %d curves; use mesfig for CSV]\n\n", fig.ID, fig.Title, len(fig.Curves))
+		}
+		if csvDir != "" {
+			if err := writeCSV(csvDir, e.ID, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir, id string, res experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("creating %s: %w", dir, err)
+	}
+	for i, tbl := range res.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", id, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", path, err)
+		}
+		if err := tbl.CSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", path, err)
+		}
+	}
+	for _, fig := range res.Figures {
+		path := filepath.Join(dir, fmt.Sprintf("%s.csv", fig.ID))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", path, err)
+		}
+		if err := fig.CSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("closing %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSelectedExperimentWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(true, 1, dir, []string{"E1", "e2"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E1_table0.csv", "E2_table0.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(true, 1, "", []string{"NOPE"}); err == nil {
+		t.Error("unknown experiment id should fail")
+	}
+}
+
+func TestRunFigureExperimentCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(true, 1, dir, []string{"F3"}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "F3-*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 3 {
+		t.Errorf("want 3 figure CSVs, got %v", matches)
+	}
+}

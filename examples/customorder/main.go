@@ -1,0 +1,88 @@
+// Customized (order-optimal) estimators on a discrete domain — the paper's
+// Example 5. Three priority orders over V = {0,1,2,3}² give three different
+// admissible estimators for RG1+ = max(0, v1−v2):
+//
+//   - "smaller f first"  — reproduces the L* estimator,
+//   - "larger f first"   — reproduces the U* estimator,
+//   - "difference 2 first" — a custom pattern prior.
+//
+// All are unbiased everywhere; each is variance-optimal on the vectors its
+// order prioritizes. If your data usually has difference ≈ 2, the custom
+// estimator gives the lowest variance exactly where it matters.
+//
+// Run with: go run ./examples/customorder
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+)
+
+func main() {
+	scheme, err := repro.NewOrderScheme(
+		[]float64{1, 2, 3},       // discrete values
+		[]float64{0.2, 0.5, 0.9}, // their inclusion probabilities π1 < π2 < π3
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := func(v []float64) float64 { return math.Max(0, v[0]-v[1]) }
+	domain := repro.GridDomain(scheme, 2)
+
+	orders := []struct {
+		name string
+		less func(a, b []float64) bool
+	}{
+		{"L* (small f first)", repro.LessByF(f)},
+		{"U* (large f first)", repro.LessByFDesc(f)},
+		{"custom (diff-2 first)", diff2Less},
+	}
+
+	probes := [][]float64{{2, 0}, {3, 1}, {3, 0}, {2, 1}}
+	fmt.Printf("%-22s", "variance on:")
+	for _, v := range probes {
+		fmt.Printf("  (%g,%g)", v[0], v[1])
+	}
+	fmt.Println()
+	for _, o := range orders {
+		est, err := repro.NewOrderEstimator(repro.OrderProblem{
+			Scheme: scheme, F: f, Domain: domain, Less: o.less,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Sanity: unbiased on the whole domain.
+		for _, v := range domain {
+			if d := math.Abs(est.Mean(v) - f(v)); d > 1e-9 {
+				log.Fatalf("bias %g on %v", d, v)
+			}
+		}
+		fmt.Printf("%-22s", o.name)
+		for _, v := range probes {
+			fmt.Printf("  %5.2f", est.Variance(v))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nevery row is unbiased on all 16 domain vectors; the custom order wins on")
+	fmt.Println("difference-2 vectors like (3,1) and (2,0), paying a little elsewhere.")
+}
+
+// diff2Less prioritizes vectors with difference 2, then nearer differences
+// (the order walked through in the paper's Example 5).
+func diff2Less(a, b []float64) bool {
+	key := func(v []float64) [2]float64 {
+		d := v[0] - v[1]
+		if d <= 0 {
+			return [2]float64{math.Inf(1), 0}
+		}
+		return [2]float64{math.Abs(d - 2), d}
+	}
+	ka, kb := key(a), key(b)
+	if ka[0] != kb[0] {
+		return ka[0] < kb[0]
+	}
+	return ka[1] < kb[1]
+}

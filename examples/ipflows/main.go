@@ -1,0 +1,64 @@
+// IP-flow-like workload: two epochs of heavy-tailed flow volumes with high
+// churn (most keys appear in only one epoch). On such dissimilar data the
+// paper's customization story says the U* estimator — order-optimal for
+// large differences — should beat the default L*, while Horvitz–Thompson
+// trails both. This example measures exactly that.
+//
+// Run with: go run ./examples/ipflows
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	data := repro.FlowsDataset(repro.FlowsConfig{N: 1500, Seed: 42})
+	f, err := repro.NewRG(1) // per-key |volume1 − volume2|
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := data.ExactSum(f, nil)
+
+	// Tune the PPS threshold for roughly 15% of active entries sampled.
+	tau := 8.0
+	scheme, err := repro.NewTupleScheme([]float64{tau, tau})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	meters := map[repro.EstimatorKind]*stats.ErrorMeter{
+		repro.KindLStar: {}, repro.KindUStar: {}, repro.KindHT: {},
+	}
+	var frac stats.Welford
+	const trials = 25
+	for t := 0; t < trials; t++ {
+		sample, err := repro.SampleCoordinated(data, nil, scheme, repro.NewSeedHash(uint64(t)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		frac.Add(float64(sample.SampledEntries) / float64(sample.TotalEntries))
+		for kind, meter := range meters {
+			est, err := sample.EstimateSum(f, kind, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			meter.Add(est, exact)
+		}
+	}
+
+	fmt.Printf("flows dataset: %d keys, exact L1 difference %.1f, ~%.0f%% entries sampled\n\n",
+		data.N(), exact, 100*frac.Mean())
+	fmt.Printf("%-4s  %-10s  %-10s\n", "est", "NRMSE", "rel.bias")
+	for _, kind := range []repro.EstimatorKind{repro.KindUStar, repro.KindLStar, repro.KindHT} {
+		m := meters[kind]
+		fmt.Printf("%-4s  %-10.4f  %+-10.4f\n", kind, m.NRMSE(), m.RelBias())
+	}
+	u, l := meters[repro.KindUStar].NRMSE(), meters[repro.KindLStar].NRMSE()
+	fmt.Printf("\nU* beats L* by %.1f%% on this dissimilar workload — the customization win;\n",
+		100*(1-u/l))
+	fmt.Println("L* still lands within its 4-competitive guarantee (and crushes HT).")
+}

@@ -1,0 +1,64 @@
+// Surnames-like workload: two yearly snapshots of name frequencies, almost
+// identical year over year. On such similar data the L* estimator — the
+// unique admissible monotone estimator, order-optimal for small
+// differences — should beat U*, mirroring the paper's Section 7 finding on
+// the surnames corpus.
+//
+// Run with: go run ./examples/surnames
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	data := repro.StableDataset(repro.StableConfig{N: 1500, Seed: 7})
+	f, err := repro.NewRG(1) // per-name |freq1 − freq2|
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := data.ExactSum(f, nil)
+
+	// Zipf weights live in (0, 1]; τ = 0.05 samples the head densely and
+	// the tail sparsely, like a realistic budgeted sketch.
+	scheme, err := repro.NewTupleScheme([]float64{0.05, 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	meters := map[repro.EstimatorKind]*stats.ErrorMeter{
+		repro.KindLStar: {}, repro.KindUStar: {}, repro.KindHT: {},
+	}
+	var frac stats.Welford
+	const trials = 25
+	for t := 0; t < trials; t++ {
+		sample, err := repro.SampleCoordinated(data, nil, scheme, repro.NewSeedHash(uint64(1000+t)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		frac.Add(float64(sample.SampledEntries) / float64(sample.TotalEntries))
+		for kind, meter := range meters {
+			est, err := sample.EstimateSum(f, kind, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			meter.Add(est, exact)
+		}
+	}
+
+	fmt.Printf("surnames dataset: %d names, exact L1 change %.4f, ~%.0f%% entries sampled\n\n",
+		data.N(), exact, 100*frac.Mean())
+	fmt.Printf("%-4s  %-10s  %-10s\n", "est", "NRMSE", "rel.bias")
+	for _, kind := range []repro.EstimatorKind{repro.KindLStar, repro.KindUStar, repro.KindHT} {
+		m := meters[kind]
+		fmt.Printf("%-4s  %-10.4f  %+-10.4f\n", kind, m.NRMSE(), m.RelBias())
+	}
+	l, u := meters[repro.KindLStar].NRMSE(), meters[repro.KindUStar].NRMSE()
+	fmt.Printf("\nL* beats U* by %.1f%% on this similar workload — pick L* when instances are stable\n",
+		100*(1-l/u))
+	fmt.Println("(or when you know nothing: its worst case is within factor 4 of optimal).")
+}

@@ -1,0 +1,273 @@
+// Package ads implements all-distances sketches (ADS) with HIP inclusion
+// probabilities and the sketch-based closeness-similarity estimation of the
+// paper's Section 7 (following Cohen's ADS line of work cited there).
+//
+// A bottom-k ADS of node v contains node i iff i's hash rank is among the k
+// smallest ranks of nodes at distance ≤ d(v, i). ADSs of different nodes
+// built from the same rank assignment are coordinated samples; restricted
+// to a single node i, the pair (membership in ADS(u), membership in ADS(v))
+// is a monotone sampling scheme with the shared seed r_i and fixed
+// per-entry HIP thresholds — which is where the L* estimator plugs in.
+package ads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/sampling"
+)
+
+// Entry is one sketched node.
+type Entry struct {
+	// Node is the sketched node id.
+	Node int
+	// Dist is the shortest-path distance from the sketch owner.
+	Dist float64
+	// Rank is the node's hash rank in (0, 1].
+	Rank float64
+	// Tau is the HIP inclusion threshold: conditioned on the ranks of all
+	// strictly closer nodes, Node is included iff Rank < Tau, so the HIP
+	// inclusion probability is min(1, Tau).
+	Tau float64
+}
+
+// P returns the HIP inclusion probability.
+func (e Entry) P() float64 { return math.Min(1, e.Tau) }
+
+// Sketch is the all-distances sketch of one node, entries sorted by
+// increasing distance.
+type Sketch struct {
+	// Owner is the node the sketch belongs to.
+	Owner int
+	// Entries are the sketched nodes.
+	Entries []Entry
+}
+
+// Lookup returns the entry for a node, if present.
+func (s Sketch) Lookup(node int) (Entry, bool) {
+	for _, e := range s.Entries {
+		if e.Node == node {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Build computes the bottom-k ADS of every node: for each node a Dijkstra
+// scan in increasing distance maintains the k smallest ranks seen so far;
+// a node enters the sketch iff its rank beats the current k-th smallest,
+// which is also its HIP threshold. Ranks are hashed from node ids, so
+// sketches of different nodes are coordinated.
+func Build(g *graph.Graph, k int, hash sampling.SeedHash) ([]Sketch, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ads: sketch parameter k = %d must be positive", k)
+	}
+	n := g.N()
+	ranks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ranks[i] = hash.U(uint64(i))
+	}
+	sketches := make([]Sketch, n)
+	for v := 0; v < n; v++ {
+		sketches[v] = buildOne(g, v, k, ranks)
+	}
+	return sketches, nil
+}
+
+func buildOne(g *graph.Graph, v, k int, ranks []float64) Sketch {
+	s := Sketch{Owner: v}
+	// kSmallest holds the k smallest ranks among strictly closer visited
+	// nodes; kth() is the inclusion threshold. Equal distances are treated
+	// as a batch: thresholds are computed against strictly closer nodes
+	// only, then the batch is merged.
+	var kSmallest []float64 // sorted ascending, ≤ k entries
+	kth := func() float64 {
+		if len(kSmallest) < k {
+			return math.Inf(1)
+		}
+		return kSmallest[k-1]
+	}
+	insert := func(r float64) {
+		pos := sort.SearchFloat64s(kSmallest, r)
+		kSmallest = append(kSmallest, 0)
+		copy(kSmallest[pos+1:], kSmallest[pos:])
+		kSmallest[pos] = r
+		if len(kSmallest) > k {
+			kSmallest = kSmallest[:k]
+		}
+	}
+	var batch []Entry
+	lastDist := math.Inf(-1)
+	flush := func() {
+		for _, e := range batch {
+			insert(e.Rank)
+		}
+		batch = batch[:0]
+	}
+	g.VisitAscending(v, func(node int, dist float64) bool {
+		if dist > lastDist {
+			flush()
+			lastDist = dist
+		}
+		tau := kth()
+		if ranks[node] < tau {
+			s.Entries = append(s.Entries, Entry{Node: node, Dist: dist, Rank: ranks[node], Tau: tau})
+		}
+		batch = append(batch, Entry{Rank: ranks[node]})
+		return true
+	})
+	return s
+}
+
+// NeighborhoodEstimate returns the HIP estimate of |{i : d(v,i) ≤ d}|:
+// Σ 1/p over sketch entries within distance d. Unbiased (HIP estimator).
+func (s Sketch) NeighborhoodEstimate(d float64) float64 {
+	var sum float64
+	for _, e := range s.Entries {
+		if e.Dist <= d {
+			sum += 1 / e.P()
+		}
+	}
+	return sum
+}
+
+// Alpha is a non-increasing distance-decay kernel for closeness
+// similarity.
+type Alpha func(d float64) float64
+
+// AlphaInverse is α(d) = 1/(1+d).
+func AlphaInverse(d float64) float64 { return 1 / (1 + d) }
+
+// AlphaExp returns α(d) = exp(−λd).
+func AlphaExp(lambda float64) Alpha {
+	return func(d float64) float64 { return math.Exp(-lambda * d) }
+}
+
+// AlphaThreshold returns α(d) = 1[d ≤ t].
+func AlphaThreshold(t float64) Alpha {
+	return func(d float64) float64 {
+		if d <= t {
+			return 1
+		}
+		return 0
+	}
+}
+
+// ExactSimilarity computes closeness similarity
+// sim(u,v) = Σ_i α(max(d_ui, d_vi)) / Σ_i α(min(d_ui, d_vi)) from exact
+// distances (Section 7; α non-increasing, terms with both distances
+// infinite contribute nothing).
+func ExactSimilarity(g *graph.Graph, u, v int, alpha Alpha) float64 {
+	du := g.Dijkstra(u)
+	dv := g.Dijkstra(v)
+	var num, den float64
+	for i := range du {
+		num += alphaOrZero(alpha, math.Max(du[i], dv[i]))
+		den += alphaOrZero(alpha, math.Min(du[i], dv[i]))
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func alphaOrZero(alpha Alpha, d float64) float64 {
+	if math.IsInf(d, 1) {
+		return 0
+	}
+	return alpha(d)
+}
+
+// EstimateSimilarity estimates closeness similarity from the two sketches
+// alone. Per candidate node i, the tuple (α(d_ui), α(d_vi)) is observed
+// through fixed HIP thresholds driven by the shared rank r_i:
+//
+//   - the denominator summand α(min d) = max(α(d_ui), α(d_vi)) is estimated
+//     with the L* estimator, whose lower-bound function is the exact step
+//     function over the visible entries (Σ Δ/p form, core.LStarStep);
+//   - the numerator summand α(max d) = min(α(d_ui), α(d_vi)) uses the
+//     identity min = α_u + α_v − max: the per-entry α-masses have exact
+//     HIP (inverse-probability) estimates, and subtracting the L* max
+//     estimate avoids the high-variance 1/min(p_u, p_v) terms a direct
+//     min estimator would pay on doubly-visible nodes.
+//
+// Both per-node estimators are unbiased, so the sums are unbiased; the
+// returned similarity is their ratio (consistent; mildly biased for small
+// sketches, as any ratio of unbiased estimates is).
+func EstimateSimilarity(su, sv Sketch, alpha Alpha) float64 {
+	num, den := similaritySums(su, sv, alpha)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// similaritySums returns the unbiased numerator and denominator estimates.
+func similaritySums(su, sv Sketch, alpha Alpha) (num, den float64) {
+	type pair struct {
+		au, av float64 // α values where visible
+		pu, pv float64 // HIP inclusion probabilities (0 when invisible)
+		rank   float64
+	}
+	nodes := make(map[int]*pair)
+	for _, e := range su.Entries {
+		nodes[e.Node] = &pair{au: alpha(e.Dist), pu: e.P(), rank: e.Rank}
+	}
+	for _, e := range sv.Entries {
+		p, ok := nodes[e.Node]
+		if !ok {
+			p = &pair{rank: e.Rank}
+			nodes[e.Node] = p
+		}
+		p.av = alpha(e.Dist)
+		p.pv = e.P()
+	}
+	for _, p := range nodes {
+		// L* on the step lower bound of max(au, av) over the visible
+		// entries: steps at each visible entry's inclusion probability
+		// where the running max (sweeping p downward) grows.
+		maxEst := maxLStar(p.au, p.pu, p.av, p.pv, p.rank)
+		den += maxEst
+		// Per-entry HIP masses minus the max estimate: unbiased for min.
+		var ht float64
+		if p.pu > 0 {
+			ht += p.au / p.pu
+		}
+		if p.pv > 0 {
+			ht += p.av / p.pv
+		}
+		num += ht - maxEst
+	}
+	return num, den
+}
+
+// maxLStar computes the L* estimate of max(au, av) from the visible
+// entries: the exact step-function form of the lower bound. Invisible
+// entries have p = 0 and contribute nothing (their probabilities are
+// unknown but provably below the seed, so their steps fall outside the
+// estimator's sum).
+func maxLStar(au, pu, av, pv, rank float64) float64 {
+	var steps []core.Step
+	cur := 0.0
+	// Sweep visible entries by decreasing inclusion probability.
+	if pu >= pv {
+		cur = addStep(&steps, pu, au, cur)
+		cur = addStep(&steps, pv, av, cur)
+	} else {
+		cur = addStep(&steps, pv, av, cur)
+		cur = addStep(&steps, pu, au, cur)
+	}
+	_ = cur
+	return core.LStarStep(0, steps, rank)
+}
+
+func addStep(steps *[]core.Step, p, val, cur float64) float64 {
+	if p <= 0 || val <= cur {
+		return cur
+	}
+	*steps = append(*steps, core.Step{At: p, Delta: val - cur})
+	return val
+}

@@ -1,0 +1,241 @@
+package ads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+func buildGrid(t *testing.T, rows, cols, k int, salt uint64) (*graph.Graph, []Sketch) {
+	t.Helper()
+	g, err := graph.Grid2D(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := Build(g, k, sampling.NewSeedHash(salt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, sk
+}
+
+func TestBuildValidation(t *testing.T) {
+	g, err := graph.Grid2D(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(g, 0, sampling.NewSeedHash(1)); err == nil {
+		t.Error("k = 0 should fail")
+	}
+}
+
+func TestSketchContainsOwnerWithProbabilityOne(t *testing.T) {
+	_, sk := buildGrid(t, 5, 5, 3, 7)
+	for v, s := range sk {
+		e, ok := s.Lookup(v)
+		if !ok {
+			t.Fatalf("sketch of %d misses its owner", v)
+		}
+		if e.Dist != 0 || e.P() != 1 {
+			t.Errorf("owner entry = %+v, want dist 0, p 1", e)
+		}
+	}
+}
+
+func TestSketchEntriesSortedWithValidThresholds(t *testing.T) {
+	_, sk := buildGrid(t, 6, 6, 4, 9)
+	for _, s := range sk {
+		prev := -1.0
+		for _, e := range s.Entries {
+			if e.Dist < prev {
+				t.Fatalf("sketch %d not sorted by distance", s.Owner)
+			}
+			prev = e.Dist
+			if !(e.Rank < e.Tau) {
+				t.Errorf("entry %+v: rank must be below threshold", e)
+			}
+			if e.P() <= 0 || e.P() > 1 {
+				t.Errorf("entry %+v: invalid inclusion probability", e)
+			}
+		}
+	}
+}
+
+func TestSketchMembershipDefinition(t *testing.T) {
+	// Bottom-k definition: node i ∈ ADS(v) iff rank_i is among the k
+	// smallest ranks of nodes at distance ≤ d(v,i) — verified directly
+	// against exact distances and ranks.
+	const k = 3
+	g, sk := buildGrid(t, 5, 5, k, 21)
+	hash := sampling.NewSeedHash(21)
+	n := g.N()
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = hash.U(uint64(i))
+	}
+	for v := 0; v < n; v++ {
+		dist := g.Dijkstra(v)
+		for i := 0; i < n; i++ {
+			if math.IsInf(dist[i], 1) {
+				continue
+			}
+			// Count nodes at distance ≤ d(v,i) with rank below rank_i;
+			// i is in the sketch iff fewer than k of them... with the
+			// strictly-closer HIP convention, ties at equal distance do
+			// not exclude each other, so count strictly closer only.
+			closer := 0
+			for j := 0; j < n; j++ {
+				if dist[j] < dist[i] && ranks[j] < ranks[i] {
+					closer++
+				}
+			}
+			_, in := sk[v].Lookup(i)
+			if want := closer < k; in != want {
+				t.Errorf("node %d in ADS(%d): got %v, want %v", i, v, in, want)
+			}
+		}
+	}
+}
+
+func TestNeighborhoodEstimateUnbiased(t *testing.T) {
+	// HIP neighborhood-size estimates, averaged over independent rank
+	// assignments, approach the exact ball sizes.
+	g, err := graph.Grid2D(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		v      = 14
+		radius = 3.0
+		trials = 400
+		k      = 4
+	)
+	dist := g.Dijkstra(v)
+	exact := 0.0
+	for _, d := range dist {
+		if d <= radius {
+			exact++
+		}
+	}
+	var acc stats.Welford
+	for trial := 0; trial < trials; trial++ {
+		sk, err := Build(g, k, sampling.NewSeedHash(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(sk[v].NeighborhoodEstimate(radius))
+	}
+	if math.Abs(acc.Mean()-exact) > 4*acc.StdErr()+0.05*exact {
+		t.Errorf("HIP estimate mean %g ± %g, exact %g", acc.Mean(), acc.StdErr(), exact)
+	}
+}
+
+func TestSketchSizeGrowsLogarithmically(t *testing.T) {
+	// E|ADS| ≈ k·H_n on a path-like visit order; assert the size is well
+	// below n and above k for a mid-size grid.
+	g, sk := buildGrid(t, 10, 10, 4, 3)
+	n := g.N()
+	var total int
+	for _, s := range sk {
+		total += len(s.Entries)
+	}
+	mean := float64(total) / float64(n)
+	if mean < 4 || mean > float64(n)/2 {
+		t.Errorf("mean sketch size %g outside (k, n/2)", mean)
+	}
+}
+
+func TestExactSimilarityProperties(t *testing.T) {
+	g, err := graph.Grid2D(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-similarity is 1; similarity decays with distance.
+	if got := ExactSimilarity(g, 5, 5, AlphaInverse); math.Abs(got-1) > 1e-12 {
+		t.Errorf("sim(v,v) = %g, want 1", got)
+	}
+	near := ExactSimilarity(g, 5, 6, AlphaInverse)
+	far := ExactSimilarity(g, 0, 15, AlphaInverse)
+	if near <= far {
+		t.Errorf("similarity should decay with distance: near %g, far %g", near, far)
+	}
+	if near <= 0 || near > 1 || far <= 0 || far > 1 {
+		t.Errorf("similarities outside (0,1]: %g, %g", near, far)
+	}
+}
+
+func TestEstimateSimilaritySumsUnbiased(t *testing.T) {
+	// The numerator and denominator estimators are unbiased: average over
+	// independent rank assignments vs exact values.
+	g, err := graph.Grid2D(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		u, v   = 6, 18
+		trials = 500
+		k      = 3
+	)
+	du := g.Dijkstra(u)
+	dv := g.Dijkstra(v)
+	var exactNum, exactDen float64
+	for i := range du {
+		exactNum += AlphaInverse(math.Max(du[i], dv[i]))
+		exactDen += AlphaInverse(math.Min(du[i], dv[i]))
+	}
+	var num, den stats.Welford
+	for trial := 0; trial < trials; trial++ {
+		sk, err := Build(g, k, sampling.NewSeedHash(uint64(1000+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, d := similaritySums(sk[u], sk[v], AlphaInverse)
+		num.Add(n)
+		den.Add(d)
+	}
+	if math.Abs(num.Mean()-exactNum) > 4*num.StdErr()+0.03*exactNum {
+		t.Errorf("numerator mean %g ± %g, exact %g", num.Mean(), num.StdErr(), exactNum)
+	}
+	if math.Abs(den.Mean()-exactDen) > 4*den.StdErr()+0.03*exactDen {
+		t.Errorf("denominator mean %g ± %g, exact %g", den.Mean(), den.StdErr(), exactDen)
+	}
+}
+
+func TestEstimateSimilarityCloseToExact(t *testing.T) {
+	// With a generous k the sketch estimate should land near the truth.
+	g, err := graph.PreferentialAttachment(300, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := Build(g, 16, sampling.NewSeedHash(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meter stats.ErrorMeter
+	pairs := [][2]int{{0, 1}, {10, 200}, {50, 51}, {100, 299}, {5, 250}}
+	for _, p := range pairs {
+		exact := ExactSimilarity(g, p[0], p[1], AlphaInverse)
+		est := EstimateSimilarity(sk[p[0]], sk[p[1]], AlphaInverse)
+		meter.Add(est, exact)
+	}
+	if meter.NRMSE() > 0.35 {
+		t.Errorf("similarity NRMSE = %g, want < 0.35", meter.NRMSE())
+	}
+}
+
+func TestAlphaKernels(t *testing.T) {
+	if AlphaInverse(0) != 1 || AlphaInverse(1) != 0.5 {
+		t.Error("AlphaInverse wrong")
+	}
+	ae := AlphaExp(2)
+	if math.Abs(ae(1)-math.Exp(-2)) > 1e-12 {
+		t.Error("AlphaExp wrong")
+	}
+	at := AlphaThreshold(3)
+	if at(3) != 1 || at(3.1) != 0 {
+		t.Error("AlphaThreshold wrong")
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hull"
+	"repro/internal/numeric"
+)
+
+// LStarAt evaluates the L* estimator on the outcome with seed rho, given the
+// lower-bound function of the data vector (formula (31) of the paper):
+//
+//	fˆ(L)(ρ) = f^(v)(ρ)/ρ − ∫_ρ^1 f^(v)(x)/x² dx.
+//
+// Only lb values at arguments ≥ rho are consulted, which is exactly the
+// information the outcome provides. The result is computed with adaptive
+// quadrature; use funcs' closed forms when exactness matters.
+func LStarAt(lb LowerBoundFunc, rho float64) float64 {
+	if rho <= 0 || rho > 1 {
+		panic(fmt.Sprintf("core: LStarAt seed %g outside (0,1]", rho))
+	}
+	head := lb(rho) / rho
+	if head == 0 {
+		// lb is nonnegative and non-increasing, so lb ≡ 0 on [rho, 1].
+		return 0
+	}
+	tail := numeric.Integrate(func(x float64) float64 { return lb(x) / (x * x) }, rho, 1)
+	// Nonnegativity holds analytically (Section 4); clamp quadrature noise.
+	return math.Max(0, head-tail)
+}
+
+// LStarStep evaluates L* exactly for a step-shaped lower-bound function:
+// each jump of height Δ at position b ≥ ρ contributes Δ/b, and the base
+// value lb(1) contributes itself (footnote 3 of the paper):
+//
+//	fˆ(L)(ρ) = base + Σ_{b_j ≥ ρ} Δ_j / b_j.
+//
+// This is the workhorse for discrete schemes (HIP-threshold sampling in the
+// similarity application, discrete domains in the order package).
+func LStarStep(base float64, steps []Step, rho float64) float64 {
+	est := base
+	for _, s := range steps {
+		if s.At >= rho {
+			est += s.Delta / s.At
+		}
+	}
+	return est
+}
+
+// LStarCurve tabulates the L* estimator on the grid and returns it as a
+// piecewise-linear SeedFunc for cheap repeated evaluation (variance and
+// ratio integrals). The cumulative integral ∫_u^1 lb(x)/x² dx is accumulated
+// segment-by-segment to avoid re-integration per point.
+func LStarCurve(lb LowerBoundFunc, g Grid) SeedFunc {
+	us := g.Points()
+	n := len(us)
+	ys := make([]float64, n)
+	// tail[i] = ∫_{us[i]}^1 lb/x²; accumulate from the right.
+	tail := 0.0
+	for i := n - 1; i >= 0; i-- {
+		if i < n-1 {
+			seg, _ := numeric.IntegrateOpt(func(x float64) float64 { return lb(x) / (x * x) },
+				us[i], us[i+1], numeric.QuadOptions{AbsTol: 1e-12, RelTol: 1e-10, MaxDepth: 24})
+			tail += seg
+		}
+		ys[i] = math.Max(0, lb(us[i])/us[i]-tail)
+	}
+	pl, err := hull.FromBreakpoints(us, ys)
+	if err != nil {
+		// Grid points are strictly increasing by construction.
+		panic(fmt.Sprintf("core: internal grid error: %v", err))
+	}
+	eps := us[0]
+	return func(u float64) float64 {
+		switch {
+		case u <= 0 || u > 1:
+			return 0
+		case u < eps:
+			// Extrapolate with the exact formula below the grid: rare path.
+			return LStarAt(lb, u)
+		default:
+			return math.Max(0, pl.Eval(u))
+		}
+	}
+}
+
+// LStarSeed returns the L* estimator as an exact SeedFunc: each evaluation
+// performs one adaptive quadrature. Prefer LStarCurve when the estimator is
+// evaluated many times and interpolation accuracy suffices; prefer LStarSeed
+// inside variance/ratio integrals that probe u → 0 where tabulation cannot
+// reach.
+func LStarSeed(lb LowerBoundFunc) SeedFunc {
+	return func(u float64) float64 {
+		if u <= 0 || u > 1 {
+			return 0
+		}
+		return LStarAt(lb, u)
+	}
+}
+
+// LStarCumulative returns M(ρ) = ∫_ρ^1 fˆ(L)(x) dx in closed form. By the
+// defining equation (30), ρ·fˆ(L)(ρ) + M(ρ) = f^(v)(ρ), so
+// M(ρ) = f^(v)(ρ) − ρ·fˆ(L)(ρ). Useful for in-range checks.
+func LStarCumulative(lb LowerBoundFunc, rho float64) float64 {
+	return lb(rho) - rho*LStarAt(lb, rho)
+}

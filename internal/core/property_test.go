@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+// randomInstance draws a random step lower-bound function — an arbitrary
+// discrete monotone estimation instance.
+func randomInstance(rng *rand.Rand) ([]Step, LowerBoundFunc, float64) {
+	n := 1 + rng.Intn(6)
+	steps := make([]Step, n)
+	for i := range steps {
+		steps[i] = Step{At: 0.02 + 0.98*rng.Float64(), Delta: 0.05 + rng.Float64()}
+	}
+	base := 0.0
+	if rng.Intn(2) == 0 {
+		base = rng.Float64()
+	}
+	lb := StepLB(base, steps)
+	value := lb(1e-15)
+	return steps, lb, value
+}
+
+func TestLStarPropertyUnbiasedOnRandomInstances(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		steps, lb, value := randomInstance(rng)
+		base := lb(1)
+		est := func(u float64) float64 {
+			if u <= 0 || u > 1 {
+				return 0
+			}
+			return LStarStep(base, filterBelowOne(steps), u)
+		}
+		mean := MeanOf(est)
+		return numeric.EqualWithin(mean, value, 1e-6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// filterBelowOne drops steps at exactly 1 (they merge into the base value).
+func filterBelowOne(steps []Step) []Step {
+	out := make([]Step, 0, len(steps))
+	for _, s := range steps {
+		if s.At < 1 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestLStarPropertyMonotoneOnRandomInstances(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		steps, lb, _ := randomInstance(rng)
+		base := lb(1)
+		prev := math.Inf(1)
+		for _, u := range numeric.Linspace(0.01, 1, 80) {
+			e := LStarStep(base, filterBelowOne(steps), u)
+			if e > prev+1e-9 {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLStarPropertyCompetitiveOnRandomInstances(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		steps, lb, value := randomInstance(rng)
+		base := lb(1)
+		est := func(u float64) float64 {
+			if u <= 0 || u > 1 {
+				return 0
+			}
+			return LStarStep(base, filterBelowOne(steps), u)
+		}
+		breaks := make([]float64, 0, len(steps))
+		for _, s := range steps {
+			breaks = append(breaks, s.At)
+		}
+		r, err := CompetitiveRatioAt(est, lb, value, Grid{Breaks: breaks})
+		if err != nil {
+			return false
+		}
+		ratio := r.Value()
+		return ratio >= 1-1e-3 && ratio <= 4+1e-2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLStarPropertySatisfiesCumulativeConstraint(t *testing.T) {
+	// Constraint (7): ∫_u^1 f̂ ≤ f^(v)(u) for all u — necessary for any
+	// nonnegative unbiased estimator, and tight for L* at every point
+	// (equation (30)).
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		steps, lb, _ := randomInstance(rng)
+		base := lb(1)
+		for _, u := range []float64{0.05, 0.2, 0.5, 0.8} {
+			m := numeric.Integrate(func(x float64) float64 {
+				return LStarStep(base, filterBelowOne(steps), x)
+			}, u, 1)
+			if m > lb(u)+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVOptimalHullBelowLBProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		steps, lb, value := randomInstance(rng)
+		breaks := make([]float64, 0, len(steps))
+		for _, s := range steps {
+			breaks = append(breaks, s.At)
+		}
+		h, err := VOptimalHull(lb, value, Grid{N: 200, Breaks: breaks})
+		if err != nil {
+			return false
+		}
+		if !h.IsConvex(1e-9) {
+			return false
+		}
+		for _, u := range numeric.Linspace(0.01, 0.999, 60) {
+			if h.Eval(u) > lb(u)+1e-9*(1+value) {
+				return false
+			}
+		}
+		// Anchored at (0, value) and (1, 0).
+		return numeric.EqualWithin(h.Eval(0), value, 1e-9) && math.Abs(h.Eval(1)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDyadicPropertyUnbiasedOnSmoothInstances(t *testing.T) {
+	// Random smooth lower bounds lb(u) = c·(1 − u^q) with q ≥ 1: the
+	// dyadic estimator differentiates lb numerically, so exponents below 1
+	// (unbounded derivative at 0) would drown the evaluation quadrature in
+	// finite-difference noise — a limitation of the baseline, not of the
+	// paper's estimators.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 0.2 + 2*rng.Float64()
+		q := 1 + 2*rng.Float64()
+		lb := func(u float64) float64 { return c * (1 - math.Pow(u, q)) }
+		est := Dyadic(lb)
+		return numeric.EqualWithin(MeanOf(est), c, 5e-3)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+func TestVOptimalAnchorsAtZeroMass(t *testing.T) {
+	// Two-point domain {a, b} under PPS, f(v) = v: the lower bound of data
+	// b is a on (b, 1] and b on (0, b]. The v-optimal estimator must anchor
+	// at (1, 0) — not at (1, lb(1)) — so its mean is f(b), and its square
+	// is (b−a)²/b + a²/(1−b) from the two hull chords.
+	// Two regimes: when a ≥ b(1−b) the chord from (0,b) to (1,0) stays
+	// below the (b, a) constraint and the optimum is the constant b
+	// (square b²); when a < b(1−b) the constraint binds and the hull has
+	// two chords with square (b−a)²/b + a²/(1−b).
+	for _, tc := range []struct{ a, b float64 }{{0.3, 0.6}, {0.15, 0.6}} {
+		a, b := tc.a, tc.b
+		lb := func(u float64) float64 {
+			if u > b {
+				return a
+			}
+			return b
+		}
+		vopt, sq, err := VOptimal(lb, b, Grid{Breaks: []float64{b}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := MeanOf(vopt); !numeric.EqualWithin(got, b, 1e-3) {
+			t.Errorf("a=%g b=%g: E[vopt] = %g, want %g", a, b, got, b)
+		}
+		want := b * b
+		if a < b*(1-b) {
+			want = (b-a)*(b-a)/b + a*a/(1-b)
+		}
+		if !numeric.EqualWithin(sq, want, 1e-3) {
+			t.Errorf("a=%g b=%g: optimal square = %g, want %g", a, b, sq, want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/funcs"
+	"repro/internal/sampling"
+)
+
+// EstimatorKind selects the per-item estimator used in sum aggregation.
+type EstimatorKind int
+
+const (
+	// KindLStar is the L* estimator (Section 4) — the competitive default.
+	KindLStar EstimatorKind = iota + 1
+	// KindUStar is the U* estimator (Section 6) — customized for large
+	// values.
+	KindUStar
+	// KindHT is Horvitz–Thompson — the classic baseline L* dominates.
+	KindHT
+)
+
+// String implements fmt.Stringer.
+func (k EstimatorKind) String() string {
+	switch k {
+	case KindLStar:
+		return "L*"
+	case KindUStar:
+		return "U*"
+	case KindHT:
+		return "HT"
+	default:
+		return fmt.Sprintf("EstimatorKind(%d)", int(k))
+	}
+}
+
+// CoordinatedSample is the materialized coordinated sample of a dataset:
+// per-item tuple outcomes sharing the per-item hashed seeds, plus
+// bookkeeping for storage accounting.
+type CoordinatedSample struct {
+	// Outcomes[k] is item k's tuple outcome.
+	Outcomes []sampling.TupleOutcome
+	// SampledEntries counts stored (instance, item) pairs.
+	SampledEntries int
+	// TotalEntries counts active (positive) entries in the dataset.
+	TotalEntries int
+}
+
+// SampleCoordinated draws the coordinated PPS sample of the instances in
+// the dataset under the given scheme, using hashed per-item seeds.
+// instances selects a subset of rows (nil = all).
+func SampleCoordinated(d Dataset, instances []int, scheme sampling.TupleScheme, hash sampling.SeedHash) (CoordinatedSample, error) {
+	if instances == nil {
+		instances = make([]int, d.R())
+		for i := range instances {
+			instances[i] = i
+		}
+	}
+	if scheme.R() != len(instances) {
+		return CoordinatedSample{}, fmt.Errorf("dataset: scheme arity %d != %d selected instances", scheme.R(), len(instances))
+	}
+	cs := CoordinatedSample{Outcomes: make([]sampling.TupleOutcome, d.N())}
+	for k := 0; k < d.N(); k++ {
+		u := hash.U(uint64(k))
+		tuple := d.SubTuple(k, instances)
+		o := scheme.Sample(tuple, u)
+		cs.Outcomes[k] = o
+		cs.SampledEntries += o.NumKnown()
+		for _, x := range tuple {
+			if x > 0 {
+				cs.TotalEntries++
+			}
+		}
+	}
+	return cs, nil
+}
+
+// EstimateSum applies the selected per-item estimator to every outcome and
+// sums: the estimator for Σ_k f(v^(k)) of Section 1. Unbiasedness of the
+// per-item estimates makes the sum unbiased; pairwise independence of the
+// hashed seeds makes variances add.
+func (cs CoordinatedSample) EstimateSum(f funcs.F, kind EstimatorKind, items []int) (float64, error) {
+	if items == nil {
+		items = allItems(len(cs.Outcomes))
+	}
+	var sum float64
+	for _, k := range items {
+		o := cs.Outcomes[k]
+		switch kind {
+		case KindLStar:
+			sum += funcs.EstimateLStar(f, o)
+		case KindUStar:
+			sum += funcs.EstimateUStar(f, o, core.Grid{N: 200})
+		case KindHT:
+			sum += funcs.EstimateHT(f, o)
+		default:
+			return 0, fmt.Errorf("dataset: unknown estimator kind %d", int(kind))
+		}
+	}
+	return sum, nil
+}

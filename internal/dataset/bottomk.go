@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sampling"
+)
+
+// SampleBottomK draws coordinated bottom-k samples (priority ranks
+// rank = u/w, shared per-item seeds) of every instance and reduces them to
+// per-item monotone outcomes following the paper's footnote 1: conditioned
+// on the seeds of the other items, item k is included in instance i iff
+// its rank is below t_ik, the k-th smallest rank among the other items —
+// equivalently iff w_ik ≥ u_k/t_ik, a linear threshold τ*_ik = 1/t_ik.
+// Each item therefore gets its own TupleScheme; the estimators consume the
+// outcomes exactly as with PPS.
+func SampleBottomK(d Dataset, k int, hash sampling.SeedHash) (CoordinatedSample, error) {
+	if k <= 0 {
+		return CoordinatedSample{}, fmt.Errorf("dataset: bottom-k size %d must be positive", k)
+	}
+	n := d.N()
+	r := d.R()
+	seeds := make([]float64, n)
+	for key := 0; key < n; key++ {
+		seeds[key] = hash.U(uint64(key))
+	}
+	// Per instance: every item's conditional threshold t_ik (k-th smallest
+	// rank among the other items), derived from the k+1 smallest ranks.
+	thresholds := make([][]float64, r)
+	for i := 0; i < r; i++ {
+		ranks := make([]float64, n)
+		for key := 0; key < n; key++ {
+			ranks[key] = sampling.Rank(sampling.RankPriority, seeds[key], d.W[i][key])
+		}
+		smallest := kSmallest(ranks, k+1)
+		thresholds[i] = make([]float64, n)
+		for key := 0; key < n; key++ {
+			t := math.Inf(1)
+			switch {
+			case len(smallest) > k:
+				// k-th among others: skip over the item itself when it is
+				// one of the k smallest.
+				if ranks[key] <= smallest[k-1] {
+					t = smallest[k]
+				} else {
+					t = smallest[k-1]
+				}
+			case len(smallest) == k:
+				if ranks[key] <= smallest[k-1] {
+					t = math.Inf(1) // fewer than k others: always included
+				} else {
+					t = smallest[k-1]
+				}
+			}
+			thresholds[i][key] = t
+		}
+	}
+	cs := CoordinatedSample{Outcomes: make([]sampling.TupleOutcome, n)}
+	for key := 0; key < n; key++ {
+		tau := make([]float64, r)
+		for i := 0; i < r; i++ {
+			t := thresholds[i][key]
+			if math.IsInf(t, 1) {
+				// Always included: an arbitrarily permissive threshold.
+				tau[i] = 1e-12
+			} else {
+				tau[i] = 1 / t
+			}
+		}
+		scheme, err := sampling.NewTupleScheme(tau)
+		if err != nil {
+			return CoordinatedSample{}, fmt.Errorf("dataset: item %d scheme: %w", key, err)
+		}
+		o := scheme.Sample(d.Tuple(key), seeds[key])
+		cs.Outcomes[key] = o
+		cs.SampledEntries += o.NumKnown()
+		for i := 0; i < r; i++ {
+			if d.W[i][key] > 0 {
+				cs.TotalEntries++
+			}
+		}
+	}
+	return cs, nil
+}
+
+// kSmallest returns the min(k, len) smallest finite values of xs, sorted
+// ascending.
+func kSmallest(xs []float64, k int) []float64 {
+	finite := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsInf(x, 1) {
+			finite = append(finite, x)
+		}
+	}
+	sort.Float64s(finite)
+	if len(finite) > k {
+		finite = finite[:k]
+	}
+	return finite
+}

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/funcs"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+func TestSampleBottomKValidation(t *testing.T) {
+	d := Example1()
+	if _, err := SampleBottomK(d, 0, sampling.NewSeedHash(1)); err == nil {
+		t.Error("k = 0 should fail")
+	}
+}
+
+func TestSampleBottomKMatchesSamplerMembership(t *testing.T) {
+	// Per-item outcome knowledge must agree with the actual bottom-k
+	// samples of each instance: entry (i, key) is known iff key is among
+	// the k lowest priority ranks of instance i.
+	d := Stable(StableConfig{N: 60, Seed: 2})
+	const k = 10
+	hash := sampling.NewSeedHash(11)
+	cs, err := SampleBottomK(d, k, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.R(); i++ {
+		items := make([]sampling.Item, d.N())
+		for key := range items {
+			items[key] = sampling.Item{Key: uint64(key), Weight: d.W[i][key]}
+		}
+		b, err := sampling.NewBottomK(k, sampling.RankPriority, hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sample, _ := b.Sample(items)
+		inSample := make(map[uint64]bool, len(sample))
+		for _, s := range sample {
+			inSample[s.Key] = true
+		}
+		for key := 0; key < d.N(); key++ {
+			if got, want := cs.Outcomes[key].Known[i], inSample[uint64(key)]; got != want {
+				t.Errorf("instance %d item %d: outcome known=%v, sampler=%v", i, key, got, want)
+			}
+		}
+	}
+}
+
+func TestSampleBottomKSizeAccounting(t *testing.T) {
+	d := Flows(FlowsConfig{N: 200, Seed: 5})
+	const k = 25
+	cs, err := SampleBottomK(d, k, sampling.NewSeedHash(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each instance keeps at most k items.
+	perInstance := make([]int, d.R())
+	for key, o := range cs.Outcomes {
+		for i, known := range o.Known {
+			if known {
+				perInstance[i]++
+			}
+		}
+		_ = key
+	}
+	for i, count := range perInstance {
+		if count > k {
+			t.Errorf("instance %d: %d sampled items exceed k=%d", i, count, k)
+		}
+	}
+}
+
+func TestSampleBottomKSumEstimateUnbiased(t *testing.T) {
+	// The footnote-1 reduction: per-item L* estimates over bottom-k
+	// conditional outcomes sum to an (approximately) unbiased estimate.
+	d := Stable(StableConfig{N: 80, Seed: 4})
+	f, err := funcs.NewRGPlus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := d.ExactSum(f, nil)
+	var acc stats.Welford
+	const trials = 250
+	for trial := 0; trial < trials; trial++ {
+		cs, err := SampleBottomK(d, 20, sampling.NewSeedHash(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := cs.EstimateSum(f, KindLStar, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(est)
+	}
+	if math.Abs(acc.Mean()-exact) > 4*acc.StdErr()+0.02*exact {
+		t.Errorf("mean bottom-k L* sum = %g ± %g, exact = %g", acc.Mean(), acc.StdErr(), exact)
+	}
+}

@@ -1,0 +1,248 @@
+// Package dataset provides multi-instance weighted datasets (the matrix
+// form of the paper's Section 1), exact query evaluation, and synthetic
+// generators standing in for the proprietary corpora of the follow-up
+// experiments (Section 7): a *stable* generator mimicking the surnames
+// corpus (instances highly similar) and a *flows* generator mimicking IP
+// traffic (heavy-tailed weights, churn, large differences). See DESIGN.md
+// §4.3 for the substitution rationale.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/funcs"
+)
+
+// Dataset is r instances (rows) over n items (columns).
+type Dataset struct {
+	// Names labels the instances (optional, sized r if present).
+	Names []string
+	// W[i][k] is the weight of item k in instance i; all rows equal length.
+	W [][]float64
+}
+
+// New validates rectangularity and nonnegativity.
+func New(names []string, w [][]float64) (Dataset, error) {
+	if len(w) == 0 || len(w[0]) == 0 {
+		return Dataset{}, fmt.Errorf("dataset: need at least one instance and one item")
+	}
+	n := len(w[0])
+	for i, row := range w {
+		if len(row) != n {
+			return Dataset{}, fmt.Errorf("dataset: row %d has %d items, want %d", i, len(row), n)
+		}
+		for k, x := range row {
+			if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return Dataset{}, fmt.Errorf("dataset: weight [%d][%d] = %g invalid", i, k, x)
+			}
+		}
+	}
+	if names != nil && len(names) != len(w) {
+		return Dataset{}, fmt.Errorf("dataset: %d names for %d instances", len(names), len(w))
+	}
+	return Dataset{Names: names, W: w}, nil
+}
+
+// R returns the number of instances.
+func (d Dataset) R() int { return len(d.W) }
+
+// N returns the number of items.
+func (d Dataset) N() int { return len(d.W[0]) }
+
+// Tuple returns item k's value tuple across instances.
+func (d Dataset) Tuple(k int) []float64 {
+	t := make([]float64, d.R())
+	for i := range d.W {
+		t[i] = d.W[i][k]
+	}
+	return t
+}
+
+// SubTuple returns item k's tuple restricted to the given instances.
+func (d Dataset) SubTuple(k int, instances []int) []float64 {
+	t := make([]float64, len(instances))
+	for j, i := range instances {
+		t[j] = d.W[i][k]
+	}
+	return t
+}
+
+// ExactSum evaluates Σ_{k∈items} f(tuple_k) exactly; items nil means all.
+func (d Dataset) ExactSum(f funcs.F, items []int) float64 {
+	if items == nil {
+		items = allItems(d.N())
+	}
+	var sum float64
+	for _, k := range items {
+		sum += f.Value(d.Tuple(k))
+	}
+	return sum
+}
+
+// ExactLp evaluates the Lp difference between two instances over items:
+// (Σ |v_a − v_b|^p)^(1/p).
+func (d Dataset) ExactLp(a, b int, p float64, items []int) float64 {
+	if items == nil {
+		items = allItems(d.N())
+	}
+	var sum float64
+	for _, k := range items {
+		sum += math.Pow(math.Abs(d.W[a][k]-d.W[b][k]), p)
+	}
+	return math.Pow(sum, 1/p)
+}
+
+// MaxWeight returns the largest weight in the dataset (used to choose PPS
+// thresholds).
+func (d Dataset) MaxWeight() float64 {
+	mx := 0.0
+	for _, row := range d.W {
+		for _, x := range row {
+			mx = math.Max(mx, x)
+		}
+	}
+	return mx
+}
+
+func allItems(n int) []int {
+	items := make([]int, n)
+	for k := range items {
+		items[k] = k
+	}
+	return items
+}
+
+// Example1 returns the 3×8 dataset of the paper's Example 1.
+func Example1() Dataset {
+	d, err := New(
+		[]string{"v1", "v2", "v3"},
+		[][]float64{
+			{0.95, 0, 0.23, 0.70, 0.10, 0.42, 0, 0.32},
+			{0.15, 0.44, 0, 0.80, 0.05, 0.50, 0.20, 0},
+			{0.25, 0, 0, 0.10, 0, 0.22, 0, 0},
+		})
+	if err != nil {
+		panic("dataset: Example1 construction failed: " + err.Error())
+	}
+	return d
+}
+
+// Example1Items maps the paper's item letters to column indices.
+func Example1Items(letters string) []int {
+	items := make([]int, 0, len(letters))
+	for _, c := range letters {
+		if c < 'a' || c > 'h' {
+			panic(fmt.Sprintf("dataset: item %q outside a-h", c))
+		}
+		items = append(items, int(c-'a'))
+	}
+	return items
+}
+
+// StableConfig parameterizes the surnames-like generator: two instances
+// whose weights differ by small relative perturbations.
+type StableConfig struct {
+	// N is the number of items.
+	N int
+	// Alpha is the Zipf exponent of the base weights. Default 1.0.
+	Alpha float64
+	// Sigma is the lognormal perturbation scale between instances.
+	// Default 0.05 (≈5% relative change).
+	Sigma float64
+	// Churn is the probability an item disappears from (or newly joins)
+	// the second instance. Zero (the default) matches a surnames-like
+	// corpus where the item universe is fixed; per-item variance there is
+	// dominated by the small persisting differences, which is exactly the
+	// regime the L* estimator is optimized for.
+	Churn float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Stable generates a two-instance dataset with highly similar instances.
+func Stable(cfg StableConfig) Dataset {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1.0
+	}
+	if cfg.Sigma == 0 {
+		cfg.Sigma = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w1 := make([]float64, cfg.N)
+	w2 := make([]float64, cfg.N)
+	for k := 0; k < cfg.N; k++ {
+		base := math.Pow(float64(k+1), -cfg.Alpha)
+		w1[k] = base
+		switch {
+		case rng.Float64() < cfg.Churn/2:
+			w2[k] = 0 // dropped
+		case rng.Float64() < cfg.Churn/2:
+			w1[k] = 0 // newly joined in instance 2
+			w2[k] = base
+		default:
+			w2[k] = base * math.Exp(cfg.Sigma*rng.NormFloat64())
+		}
+	}
+	d, err := New([]string{"year1", "year2"}, [][]float64{w1, w2})
+	if err != nil {
+		panic("dataset: Stable generation failed: " + err.Error())
+	}
+	return d
+}
+
+// FlowsConfig parameterizes the IP-flow-like generator: heavy-tailed
+// weights with churn and large independent fluctuations.
+type FlowsConfig struct {
+	// N is the number of flow keys.
+	N int
+	// TailIndex is the Pareto tail index of flow sizes. Default 1.2.
+	TailIndex float64
+	// Churn is the probability a flow is present in only one instance.
+	// Default 0.7: most flow keys appear in only one time window, which is
+	// the regime (per-item tuples with a zero entry) where the U*
+	// estimator is v-optimal and L* pays its competitive factor.
+	Churn float64
+	// Sigma is the lognormal fluctuation scale for persisting flows.
+	// Default 2.5 (persisting flows still change a lot).
+	Sigma float64
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// Flows generates a two-instance dataset with dissimilar instances.
+func Flows(cfg FlowsConfig) Dataset {
+	if cfg.TailIndex == 0 {
+		cfg.TailIndex = 1.2
+	}
+	if cfg.Churn == 0 {
+		cfg.Churn = 0.7
+	}
+	if cfg.Sigma == 0 {
+		cfg.Sigma = 2.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pareto := func() float64 {
+		return math.Pow(1-rng.Float64(), -1/cfg.TailIndex) - 1
+	}
+	w1 := make([]float64, cfg.N)
+	w2 := make([]float64, cfg.N)
+	for k := 0; k < cfg.N; k++ {
+		switch {
+		case rng.Float64() < cfg.Churn/2:
+			w1[k] = pareto()
+		case rng.Float64() < cfg.Churn/2:
+			w2[k] = pareto()
+		default:
+			base := pareto()
+			w1[k] = base
+			w2[k] = base * math.Exp(cfg.Sigma*rng.NormFloat64())
+		}
+	}
+	d, err := New([]string{"epoch1", "epoch2"}, [][]float64{w1, w2})
+	if err != nil {
+		panic("dataset: Flows generation failed: " + err.Error())
+	}
+	return d
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestCOOShape(t *testing.T) {
+	res, err := RunCOO(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	prevGain := 1e18
+	for _, row := range rows {
+		lstar := parseCell(t, row[1])
+		cht := parseCell(t, row[2])
+		iht := parseCell(t, row[3])
+		gain := parseCell(t, row[4])
+		// Dominance chain: coordinated L* ≤ coordinated HT ≤ independent HT.
+		if lstar > cht+1e-9 {
+			t.Errorf("t=%s: coord L* (%g) should not exceed coord HT (%g)", row[0], lstar, cht)
+		}
+		if cht > iht+1e-9 {
+			t.Errorf("t=%s: coord HT (%g) should not exceed indep HT (%g)", row[0], cht, iht)
+		}
+		if gain < 1 {
+			t.Errorf("t=%s: coordination gain %g below 1", row[0], gain)
+		}
+		// The gain shrinks as tuples become similar but never vanishes.
+		if gain > prevGain+1e-9 {
+			t.Errorf("t=%s: gain %g should decrease with similarity", row[0], gain)
+		}
+		prevGain = gain
+	}
+}
+
+func TestJACEstimatesTrackTruth(t *testing.T) {
+	res, err := RunJAC(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tables[0].Rows {
+		exact := parseCell(t, row[0])
+		mean := parseCell(t, row[2])
+		if d := mean - exact; d > 0.05+0.1*exact || d < -0.05-0.1*exact {
+			t.Errorf("J=%g: mean estimate %g strays", exact, mean)
+		}
+	}
+}

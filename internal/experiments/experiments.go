@@ -1,0 +1,84 @@
+// Package experiments reproduces every table, figure and quantitative
+// claim of the paper's examples and Section 7 summaries. Each experiment
+// has an ID matching DESIGN.md's index and produces report tables and/or
+// figure series; cmd/mesrun and cmd/mesfig render them, bench_test.go wraps
+// them as benchmarks, and EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// newRand returns a deterministic source for experiment data generation.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Config tunes experiment sizes.
+type Config struct {
+	// Quick shrinks workloads for benchmarks and smoke tests.
+	Quick bool
+	// Seed drives all synthetic randomness (defaults to 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is an experiment's output.
+type Result struct {
+	// Tables holds paper-style tables.
+	Tables []report.Table
+	// Figures holds figure series (Examples 3–4 plots).
+	Figures []report.Figure
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	// ID matches DESIGN.md's experiment index (e.g. "F3").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Run executes the experiment.
+	Run func(Config) (Result, error)
+}
+
+// All returns the experiments in index order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Example 1: dataset and exact queries", Run: RunE1},
+		{ID: "E2", Title: "Example 2: coordinated PPS outcomes", Run: RunE2},
+		{ID: "F3", Title: "Example 3 figures: lower bounds and hulls for RGp+", Run: RunF3},
+		{ID: "F4", Title: "Example 4 figures: L*, U*, v-optimal estimates", Run: RunF4},
+		{ID: "E5", Title: "Example 5: order-optimal estimators on a discrete domain", Run: RunE5},
+		{ID: "T41", Title: "Theorem 4.1 tightness family: ratio 2/(1-p) → 4", Run: RunT41},
+		{ID: "RAT", Title: "L* competitive ratios for RG1 (2) and RG2 (2.5)", Run: RunRAT},
+		{ID: "DOM", Title: "L* dominates Horvitz-Thompson", Run: RunDOM},
+		{ID: "LP", Title: "Section 7: Lp-difference estimation on flows vs stable data", Run: RunLP},
+		{ID: "SIM", Title: "Section 7: ADS closeness similarity", Run: RunSIM},
+		{ID: "UNIV", Title: "Conclusion: universal-ratio bounds", Run: RunUNIV},
+		{ID: "COO", Title: "Motivation: coordinated vs independent sampling", Run: RunCOO},
+		{ID: "JAC", Title: "Application: Jaccard over coordinated 0/1 samples", Run: RunJAC},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(res.Tables) == 0 && len(res.Figures) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			for _, tbl := range res.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", e.ID, tbl.Title)
+				}
+			}
+			for _, fig := range res.Figures {
+				if len(fig.Curves) == 0 {
+					t.Errorf("%s: figure %q has no curves", e.ID, fig.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("F3"); err != nil {
+		t.Errorf("ByID(F3) failed: %v", err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestT41RatiosApproachFour(t *testing.T) {
+	res, err := RunT41(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	last := rows[len(rows)-1]
+	ratio := parseCell(t, last[3])
+	if ratio < 3.9 || ratio > 4.001 {
+		t.Errorf("final tightness ratio = %g, want ≈ 4⁻", ratio)
+	}
+	prev := 0.0
+	for _, row := range rows {
+		r := parseCell(t, row[3])
+		if r < prev {
+			t.Error("ratios should increase with p")
+		}
+		prev = r
+	}
+}
+
+func TestRATMatchesQuotedConstants(t *testing.T) {
+	res, err := RunRAT(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	if r1 := parseCell(t, rows[0][1]); r1 < 1.9 || r1 > 2.05 {
+		t.Errorf("RG1 sup ratio = %g, want ≈ 2", r1)
+	}
+	if r2 := parseCell(t, rows[1][1]); r2 < 2.4 || r2 > 2.55 {
+		t.Errorf("RG2 sup ratio = %g, want ≈ 2.5", r2)
+	}
+	// The supremum is attained at v2 = 0.
+	for _, row := range rows {
+		if !strings.Contains(row[2], ",0)") {
+			t.Errorf("argmax %s should have v2 = 0", row[2])
+		}
+	}
+}
+
+func TestLPShapeFullConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full LP study takes a while")
+	}
+	res, err := RunLP(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every (dataset, rate) row: on dissimilar data U* ≤ L*; on
+	// similar data L* ≤ U*; L* never exceeds HT (per-item dominance,
+	// Theorem 4.2, with slack for the nonlinear Lp root); and L* never
+	// blows up catastrophically against U* (the competitive guarantee is on
+	// per-item E[f̂²] ≤ 4·optimal, which leaves a bounded but nontrivial
+	// aggregate-NRMSE gap — far from HT's unbounded one).
+	for _, tbl := range res.Tables {
+		if len(tbl.Cols) != 5 {
+			continue // the per-item crossover table has its own shape
+		}
+		for _, row := range tbl.Rows {
+			lstar := parseCell(t, row[2])
+			ustar := parseCell(t, row[3])
+			ht := parseCell(t, row[4])
+			diss := strings.Contains(row[0], "dissimilar")
+			if diss && ustar > lstar*1.15 {
+				t.Errorf("%s %s: U* (%g) should beat L* (%g) on dissimilar data", tbl.Title, row[0], ustar, lstar)
+			}
+			if !diss && lstar > ustar*1.15 {
+				t.Errorf("%s %s: L* (%g) should beat U* (%g) on similar data", tbl.Title, row[0], lstar, ustar)
+			}
+			if lstar > 1.3*ht {
+				t.Errorf("%s %s: L* (%g) should not lose to HT (%g) — dominance violated",
+					tbl.Title, row[0], lstar, ht)
+			}
+			if lstar > 100*ustar {
+				t.Errorf("%s %s: L* (%g) blew up vs U* (%g)", tbl.Title, row[0], lstar, ustar)
+			}
+		}
+	}
+}
+
+func TestUNIVBounds(t *testing.T) {
+	res, err := RunUNIV(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := parseCell(t, res.Tables[0].Rows[0][1])
+	if worst > 4.001 || worst < 1 {
+		t.Errorf("worst L* ratio = %g, want within [1, 4]", worst)
+	}
+	for _, row := range res.Tables[1].Rows {
+		opt := parseCell(t, row[1])
+		lst := parseCell(t, row[2])
+		if opt < 1-1e-9 {
+			t.Errorf("ladder %s: minimax ratio %g below 1", row[0], opt)
+		}
+		if opt > lst+1e-6 {
+			t.Errorf("ladder %s: minimax %g exceeds L* %g", row[0], opt, lst)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/funcs"
+	"repro/internal/numeric"
+	"repro/internal/report"
+	"repro/internal/sampling"
+)
+
+// figureVectors are the data vectors of Examples 3 and 4.
+var figureVectors = [][]float64{{0.6, 0.2}, {0.6, 0}}
+
+// RunF3 reproduces the Example 3 figures: the lower-bound function (LB) and
+// its lower hull (CH) of RG_{p+} under coordinated PPS with τ* = 1, for
+// p ∈ {0.5, 1, 2} and data vectors (0.6, 0.2) and (0.6, 0).
+func RunF3(cfg Config) (Result, error) {
+	scheme := sampling.UniformTuple(2)
+	var figs []report.Figure
+	for _, p := range []float64{0.5, 1, 2} {
+		f, err := funcs.NewRGPlus(p)
+		if err != nil {
+			return Result{}, err
+		}
+		fig := report.Figure{
+			ID:     fmt.Sprintf("F3-p%g", p),
+			Title:  fmt.Sprintf("RGp+ p=%g, PPS tau=1, LB and CH", p),
+			XLabel: "u",
+			YLabel: "value",
+		}
+		xs := numeric.Linspace(0.005, 0.8, gridN(cfg))
+		for _, v := range figureVectors {
+			lb := funcs.DataLB(f, scheme, v)
+			hullFn, err := core.VOptimalHull(lb, f.Value(v), core.Grid{Breaks: []float64{v[1], v[0]}})
+			if err != nil {
+				return Result{}, fmt.Errorf("experiments: F3 hull for %v: %w", v, err)
+			}
+			lbY := make([]float64, len(xs))
+			chY := make([]float64, len(xs))
+			for i, x := range xs {
+				lbY[i] = lb(x)
+				chY[i] = hullFn.Eval(x)
+			}
+			name := fmt.Sprintf("v1=%g v2=%g", v[0], v[1])
+			fig.Curves = append(fig.Curves,
+				report.Series{Name: name + " LB", X: xs, Y: lbY},
+				report.Series{Name: name + " CH", X: xs, Y: chY},
+			)
+		}
+		figs = append(figs, fig)
+	}
+	return Result{Figures: figs}, nil
+}
+
+// RunF4 reproduces the Example 4 figures: the L*, U* and v-optimal
+// estimates for the same instances as Example 3.
+func RunF4(cfg Config) (Result, error) {
+	scheme := sampling.UniformTuple(2)
+	var figs []report.Figure
+	for _, p := range []float64{0.5, 1, 2} {
+		f, err := funcs.NewRGPlus(p)
+		if err != nil {
+			return Result{}, err
+		}
+		fig := report.Figure{
+			ID:     fmt.Sprintf("F4-p%g", p),
+			Title:  fmt.Sprintf("RGp+ p=%g, PPS tau=1, L, U, opt estimates", p),
+			XLabel: "u",
+			YLabel: "estimate",
+		}
+		xs := numeric.Linspace(0.005, 0.8, gridN(cfg))
+		for _, v := range figureVectors {
+			lb := funcs.DataLB(f, scheme, v)
+			vopt, _, err := core.VOptimal(lb, f.Value(v), core.Grid{Breaks: []float64{v[1], v[0]}})
+			if err != nil {
+				return Result{}, fmt.Errorf("experiments: F4 v-optimal for %v: %w", v, err)
+			}
+			lY := make([]float64, len(xs))
+			uY := make([]float64, len(xs))
+			oY := make([]float64, len(xs))
+			for i, x := range xs {
+				o := scheme.Sample(v, x)
+				lY[i] = funcs.EstimateLStar(f, o)
+				uY[i] = funcs.EstimateUStar(f, o, core.Grid{N: 200})
+				oY[i] = vopt(x)
+			}
+			name := fmt.Sprintf("v1=%g v2=%g", v[0], v[1])
+			fig.Curves = append(fig.Curves,
+				report.Series{Name: name + " L", X: xs, Y: lY},
+				report.Series{Name: name + " U", X: xs, Y: uY},
+				report.Series{Name: name + " opt", X: xs, Y: oY},
+			)
+		}
+		figs = append(figs, fig)
+	}
+	return Result{Figures: figs}, nil
+}
+
+func gridN(cfg Config) int {
+	if cfg.Quick {
+		return 40
+	}
+	return 160
+}

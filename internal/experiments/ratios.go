@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/funcs"
+	"repro/internal/report"
+	"repro/internal/sampling"
+)
+
+// RunT41 reproduces the Theorem 4.1 tightness family: V = [0,1], PPS
+// τ(u) = u, f(v) = (1 − v^{1−p})/(1−p), data v = 0. The closed forms are
+// v-optimal f̂(u) = u^{-p} and L*(u) = (u^{-p} − 1)/p, whose squares
+// integrate to 1/(1−2p) and 2/((1−2p)(1−p)) — ratio 2/(1−p), approaching 4
+// as p → 0.5⁻. Measured values come from quadrature on the closed forms.
+func RunT41(cfg Config) (Result, error) {
+	tbl := report.Table{
+		ID:    "T41",
+		Title: "Tightness family: measured L* ratio vs analytic 2/(1−p)",
+		Cols:  []string{"p", "E[(L*)²]", "E[(opt)²]", "measured ratio", "analytic 2/(1−p)"},
+	}
+	ps := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.45, 0.48, 0.49}
+	if cfg.Quick {
+		ps = []float64{0.1, 0.3, 0.45}
+	}
+	for _, p := range ps {
+		lstar := func(x float64) float64 {
+			if x <= 0 || x > 1 {
+				return 0
+			}
+			return (math.Pow(x, -p) - 1) / p
+		}
+		vopt := func(x float64) float64 {
+			if x <= 0 || x > 1 {
+				return 0
+			}
+			return math.Pow(x, -p)
+		}
+		lsq := core.SquareOf(lstar)
+		osq := core.SquareOf(vopt)
+		ratio := lsq / osq
+		analytic := 2 / (1 - p)
+		if !closeRel(ratio, analytic, 1e-3) {
+			return Result{}, fmt.Errorf("experiments: T41 p=%g ratio %g vs analytic %g", p, ratio, analytic)
+		}
+		tbl.AddRow(report.Fmt(p), report.Fmt(lsq), report.Fmt(osq), report.Fmt(ratio), report.Fmt(analytic))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"ratio → 4 as p → 0.5⁻; every row is ≤ 4, matching the tight bound of Theorem 4.1")
+	return Result{Tables: []report.Table{tbl}}, nil
+}
+
+// RunRAT reproduces the quoted competitive ratios of L* for the
+// exponentiated range: the supremum over data of
+// E[(L*)²]/E[(opt)²] is 2 for p = 1 and 2.5 for p = 2 (attained at
+// vectors with a vanishing second entry).
+func RunRAT(cfg Config) (Result, error) {
+	scheme := sampling.UniformTuple(2)
+	tbl := report.Table{
+		ID:    "RAT",
+		Title: "L* competitive ratio for RG_p over the data domain",
+		Cols:  []string{"p", "sup ratio (measured)", "argmax v", "paper"},
+	}
+	steps := 8
+	if cfg.Quick {
+		steps = 4
+	}
+	paper := map[float64]string{1: "2", 2: "2.5"}
+	for _, p := range []float64{1, 2} {
+		f, err := funcs.NewRGPlus(p)
+		if err != nil {
+			return Result{}, err
+		}
+		best, bestV := 0.0, []float64{0, 0}
+		for i := 1; i <= steps; i++ {
+			v1 := float64(i) / float64(steps)
+			for j := 0; j < steps; j++ {
+				v2 := v1 * float64(j) / float64(steps)
+				v := []float64{v1, v2}
+				ratio, err := lstarRatio(f, scheme, v)
+				if err != nil {
+					return Result{}, err
+				}
+				if ratio > best {
+					best, bestV = ratio, v
+				}
+			}
+		}
+		if best > 4+1e-2 {
+			return Result{}, fmt.Errorf("experiments: RAT p=%g ratio %g exceeds 4", p, best)
+		}
+		tbl.AddRow(report.Fmt(p), report.Fmt(best),
+			fmt.Sprintf("(%.3g,%.3g)", bestV[0], bestV[1]), paper[p])
+	}
+	tbl.Notes = append(tbl.Notes,
+		"the supremum is attained at v2 = 0 (HT-inapplicable data): ratios 2 and 2.5 as quoted in Section 1")
+	return Result{Tables: []report.Table{tbl}}, nil
+}
+
+// lstarRatio computes the per-data competitive ratio of L* via closed-form
+// estimates and the hull-based optimum.
+func lstarRatio(f funcs.F, scheme sampling.TupleScheme, v []float64) (float64, error) {
+	est := func(u float64) float64 {
+		if u <= 0 || u > 1 {
+			return 0
+		}
+		return funcs.EstimateLStar(f, scheme.Sample(v, u))
+	}
+	lb := funcs.DataLB(f, scheme, v)
+	r, err := core.CompetitiveRatioAt(est, lb, f.Value(v), core.Grid{Breaks: []float64{v[1], v[0]}})
+	if err != nil {
+		return 0, fmt.Errorf("experiments: ratio at %v: %w", v, err)
+	}
+	return r.Value(), nil
+}
+
+// RunDOM verifies the Theorem 4.2 corollary on a grid of data vectors: the
+// L* estimator dominates Horvitz–Thompson everywhere, strictly wherever HT
+// wastes partial information, and remains defined where HT does not exist
+// (v2 = 0 — the paper's (0.5, 0) example).
+func RunDOM(cfg Config) (Result, error) {
+	scheme := sampling.UniformTuple(2)
+	f, err := funcs.NewRGPlus(1)
+	if err != nil {
+		return Result{}, err
+	}
+	tbl := report.Table{
+		ID:    "DOM",
+		Title: "Var[L*] vs Var[HT] for RG1+ under coordinated PPS",
+		Cols:  []string{"v", "f(v)", "Var[L*]", "Var[HT]", "HT/L*"},
+	}
+	grid := [][]float64{
+		{0.5, 0}, {0.6, 0.2}, {0.6, 0.4}, {0.9, 0.1}, {0.9, 0.5}, {0.9, 0.8}, {0.3, 0.1}, {1, 0.01},
+	}
+	for _, v := range grid {
+		val := f.Value(v)
+		est := func(u float64) float64 {
+			if u <= 0 || u > 1 {
+				return 0
+			}
+			return funcs.EstimateLStar(f, scheme.Sample(v, u))
+		}
+		lvar := core.SquareOf(est) - val*val
+		hsq := core.HTSquare(val, v[1]) // reveal prob = v2 under τ*=1
+		hvar := hsq - val*val
+		ratioCell := "+Inf (HT inapplicable)"
+		if !math.IsInf(hvar, 1) {
+			if lvar > hvar+1e-6 {
+				return Result{}, fmt.Errorf("experiments: DOM violated at %v: L* %g > HT %g", v, lvar, hvar)
+			}
+			ratioCell = report.Fmt(hvar / lvar)
+		}
+		tbl.AddRow(fmt.Sprintf("(%g,%g)", v[0], v[1]), report.Fmt(val),
+			report.Fmt(lvar), report.Fmt(hvar), ratioCell)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"Var[L*] ≤ Var[HT] on every row; rows with v2 = 0 have no HT estimator at all (Section 1)")
+	return Result{Tables: []report.Table{tbl}}, nil
+}
+
+func closeRel(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

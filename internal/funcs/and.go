@@ -1,0 +1,118 @@
+package funcs
+
+import (
+	"math"
+
+	"repro/internal/sampling"
+)
+
+// AndTuple is the logical AND f(v) = 1[∀i: v_i > 0] — together with
+// OrTuple it expresses intersection/union cardinalities and hence the
+// Jaccard coefficient of 0/1 data, the application of the paper's
+// references [3, 4] (MinHash-style coordinated samples).
+type AndTuple struct{}
+
+// Name implements F.
+func (AndTuple) Name() string { return "and" }
+
+// Arity implements F.
+func (AndTuple) Arity() int { return 0 }
+
+// Value implements F.
+func (AndTuple) Value(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	for _, x := range v {
+		if x <= 0 {
+			return 0
+		}
+	}
+	return 1
+}
+
+// Lower implements F: all entries must be provably positive, i.e. sampled
+// (a zero entry is never sampled, so an unsampled entry might be zero).
+func (AndTuple) Lower(o sampling.TupleOutcome) float64 {
+	if len(o.Known) == 0 {
+		return 0
+	}
+	for _, known := range o.Known {
+		if !known {
+			return 0
+		}
+	}
+	return 1
+}
+
+// Upper implements F: unknown entries can always be positive (their bounds
+// are positive), so the supremum is 1 whenever the tuple is nonempty.
+func (AndTuple) Upper(o sampling.TupleOutcome) float64 {
+	if len(o.Known) == 0 {
+		return 0
+	}
+	return 1
+}
+
+// Family implements F.
+func (AndTuple) Family(o sampling.TupleOutcome) [][]float64 {
+	return extremeFamily(o, 64)
+}
+
+// LStarClosed implements LStarClosedForm. The lower-bound function has a
+// single step of height 1 at the seed below which every entry is visible
+// (the minimum of the visible inclusion probabilities), so the L* estimate
+// is the inverse of that probability — computable only when all entries
+// are known, which is exactly when the step is visible.
+func (AndTuple) LStarClosed(o sampling.TupleOutcome) (float64, bool) {
+	pmin := math.Inf(1)
+	for i, known := range o.Known {
+		if !known {
+			return 0, true
+		}
+		pmin = math.Min(pmin, math.Min(1, o.Vals[i]/o.Scheme.Tau[i]))
+	}
+	if math.IsInf(pmin, 1) || o.Rho > pmin {
+		return 0, true
+	}
+	return 1 / pmin, true
+}
+
+var (
+	_ F               = AndTuple{}
+	_ LStarClosedForm = AndTuple{}
+)
+
+// JaccardEstimate estimates the Jaccard coefficient |∩|/|∪| of the positive
+// supports of the instances from a coordinated sample: the ratio of the L*
+// sum estimates of AND and OR over the items. Both sums are unbiased; the
+// ratio is the standard consistent plug-in.
+func JaccardEstimate(outcomes []sampling.TupleOutcome) float64 {
+	var and, or float64
+	fa, fo := AndTuple{}, OrTuple{}
+	for _, o := range outcomes {
+		a, _ := fa.LStarClosed(o)
+		u, _ := fo.LStarClosed(o)
+		and += a
+		or += u
+	}
+	if or == 0 {
+		return 0
+	}
+	return and / or
+}
+
+// JaccardExact computes the true Jaccard coefficient of the tuples'
+// positive supports.
+func JaccardExact(tuples [][]float64) float64 {
+	var and, or float64
+	fa, fo := AndTuple{}, OrTuple{}
+	for _, v := range tuples {
+		and += fa.Value(v)
+		or += fo.Value(v)
+	}
+	if or == 0 {
+		return 0
+	}
+	return and / or
+}

@@ -1,0 +1,120 @@
+package funcs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+func TestAndTupleValue(t *testing.T) {
+	f := AndTuple{}
+	tests := []struct {
+		v    []float64
+		want float64
+	}{
+		{[]float64{0.3, 0.7}, 1},
+		{[]float64{0.3, 0}, 0},
+		{[]float64{0, 0}, 0},
+		{nil, 0},
+	}
+	for _, tt := range tests {
+		if got := f.Value(tt.v); got != tt.want {
+			t.Errorf("And(%v) = %g, want %g", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestAndTupleLStarUnbiased(t *testing.T) {
+	s := sampling.UniformTuple(2)
+	f := AndTuple{}
+	for _, v := range [][]float64{{0.3, 0.7}, {0.5, 0.5}, {0.9, 0}, {0, 0}} {
+		est := func(u float64) float64 { return EstimateLStar(f, s.Sample(v, u)) }
+		got, err := numeric.IntegrateToZero(est, 1, numeric.QuadOptions{AbsTol: 1e-10})
+		if err != nil {
+			t.Fatalf("v=%v: %v", v, err)
+		}
+		if want := f.Value(v); !numeric.EqualWithin(got, want, 1e-6) {
+			t.Errorf("v=%v: E[L*] = %g, want %g", v, got, want)
+		}
+	}
+}
+
+func TestAndTupleMatchesGenericLStar(t *testing.T) {
+	s := sampling.UniformTuple(3)
+	f := AndTuple{}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		v := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		u := rng.Float64()*0.999 + 0.001
+		o := s.Sample(v, u)
+		closed, _ := f.LStarClosed(o)
+		generic := core.LStarAt(OutcomeLB(f, o), o.Rho)
+		if !numeric.EqualWithin(closed, generic, 1e-6) {
+			t.Errorf("v=%v u=%g: closed %g vs generic %g", v, u, closed, generic)
+		}
+	}
+}
+
+func TestAndTupleEstimateOnlyWhenAllKnown(t *testing.T) {
+	s := sampling.UniformTuple(2)
+	f := AndTuple{}
+	// v = (0.3, 0.7): both sampled iff u ≤ 0.3; estimate 1/0.3 there.
+	if got, _ := f.LStarClosed(s.Sample([]float64{0.3, 0.7}, 0.2)); !numeric.EqualWithin(got, 1/0.3, 1e-12) {
+		t.Errorf("estimate = %g, want %g", got, 1/0.3)
+	}
+	if got, _ := f.LStarClosed(s.Sample([]float64{0.3, 0.7}, 0.5)); got != 0 {
+		t.Errorf("estimate = %g, want 0 (entry 1 hidden)", got)
+	}
+}
+
+func TestJaccardExact(t *testing.T) {
+	tuples := [][]float64{
+		{1, 1}, {1, 0}, {0, 1}, {1, 1}, {0, 0},
+	}
+	// |∩| = 2, |∪| = 4.
+	if got := JaccardExact(tuples); got != 0.5 {
+		t.Errorf("JaccardExact = %g, want 0.5", got)
+	}
+	if got := JaccardExact([][]float64{{0, 0}}); got != 0 {
+		t.Errorf("empty union Jaccard = %g, want 0", got)
+	}
+}
+
+func TestJaccardEstimateConsistency(t *testing.T) {
+	// Coordinated sampling of 0/1 data: the Jaccard estimate concentrates
+	// around the true coefficient as trials average out.
+	rng := rand.New(rand.NewSource(9))
+	const n = 400
+	tuples := make([][]float64, n)
+	for k := range tuples {
+		a := float64(rng.Intn(2))
+		b := a
+		if rng.Float64() < 0.3 { // 30% disagreement
+			b = 1 - a
+		}
+		tuples[k] = []float64{a, b}
+	}
+	exact := JaccardExact(tuples)
+	// Sample each item with probability 0.5 via τ* = 2 (weights are 1).
+	scheme, err := sampling.NewTupleScheme([]float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc stats.Welford
+	for trial := 0; trial < 60; trial++ {
+		hash := sampling.NewSeedHash(uint64(trial))
+		outcomes := make([]sampling.TupleOutcome, n)
+		for k, v := range tuples {
+			outcomes[k] = scheme.Sample(v, hash.U(uint64(k)))
+		}
+		acc.Add(JaccardEstimate(outcomes))
+	}
+	if math.Abs(acc.Mean()-exact) > 4*acc.StdErr()+0.02 {
+		t.Errorf("Jaccard estimate mean %g ± %g, exact %g", acc.Mean(), acc.StdErr(), exact)
+	}
+}

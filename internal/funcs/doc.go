@@ -1,0 +1,20 @@
+// Package funcs implements the item functions the paper estimates over
+// coordinated tuples, together with the per-outcome machinery estimators
+// need: exact values, lower-bound functions (inf of f over data vectors
+// consistent with an outcome), consistent families for the U* solver, and
+// the closed-form L*/U* expressions the paper derives for the exponentiated
+// range (Example 4).
+//
+// The functions mirror Example 1:
+//
+//   - RGPlus (RG_{p+}): max(0, v1−v2)^p — asymmetric exponentiated range,
+//     the summand of Lpp+ (increase-only change).
+//   - RG (RG_p): (max(v)−min(v))^p over r ≥ 2 entries — the summand of the
+//     Lp^p difference.
+//   - MaxTuple / OrTuple: max(v) and 1[∃ v_i > 0] — building blocks of the
+//     sketch-similarity application (Section 7) and distinct counts.
+//   - LinComb: |Σ c_i v_i|^p — the "arbitrary" G query of Example 1.
+//
+// Everything consumes sampling.TupleOutcome, the per-item view of
+// coordinated PPS sampling.
+package funcs

@@ -1,0 +1,65 @@
+package funcs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sampling"
+)
+
+// TestEstimatorHonestyAllFunctions: estimates must be functions of the
+// outcome alone. For random data vectors and seeds, replace every hidden
+// entry with a random consistent value and check the estimates agree.
+func TestEstimatorHonestyAllFunctions(t *testing.T) {
+	fs := []F{
+		mustRGPlus(t, 1), mustRGPlus(t, 2), mustRGPlus(t, 0.5),
+		mustRG(t, 1), mustRG(t, 2),
+		MaxTuple{}, OrTuple{}, AndTuple{},
+	}
+	lc, err := NewLinComb([]float64{1, -2, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		r := 2
+		var f F = fs[rng.Intn(len(fs))]
+		if f.Arity() == 0 && rng.Intn(2) == 0 {
+			r = 3
+		}
+		if rng.Intn(8) == 0 && r == 3 {
+			f = lc
+		}
+		if a := f.Arity(); a != 0 {
+			r = a
+		}
+		s := sampling.UniformTuple(r)
+		v := make([]float64, r)
+		z := make([]float64, r)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		u := rng.Float64()*0.999 + 0.001
+		o := s.Sample(v, u)
+		// z agrees on known entries, is an arbitrary consistent value on
+		// unknown ones.
+		for i := range z {
+			if o.Known[i] {
+				z[i] = v[i]
+			} else {
+				z[i] = o.Bound(i) * rng.Float64() * (1 - 1e-9)
+			}
+		}
+		oz := s.Sample(z, u)
+		if !o.Same(oz) {
+			t.Fatalf("%s trial %d: consistent vector produced a different outcome", f.Name(), trial)
+		}
+		if a, b := EstimateLStar(f, o), EstimateLStar(f, oz); a != b {
+			t.Errorf("%s: L* estimates differ across consistent data: %g vs %g (v=%v z=%v u=%g)",
+				f.Name(), a, b, v, z, u)
+		}
+		if a, b := EstimateHT(f, o), EstimateHT(f, oz); a != b {
+			t.Errorf("%s: HT estimates differ across consistent data: %g vs %g", f.Name(), a, b)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package funcs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sampling"
+)
+
+// LinComb is f(v) = |Σ c_i v_i|^p — the shape of Example 1's "arbitrary"
+// query G (c = (1, −2, 1), p = 2). Lower and upper bounds follow from
+// interval arithmetic over the box of consistent vectors.
+type LinComb struct {
+	// C holds the coefficients; fixes the arity.
+	C []float64
+	// P is the exponent; must be positive.
+	P float64
+}
+
+// NewLinComb validates coefficients and exponent.
+func NewLinComb(c []float64, p float64) (LinComb, error) {
+	if len(c) == 0 {
+		return LinComb{}, fmt.Errorf("funcs: LinComb needs coefficients")
+	}
+	if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+		return LinComb{}, fmt.Errorf("funcs: LinComb exponent %g must be positive and finite", p)
+	}
+	cc := make([]float64, len(c))
+	copy(cc, c)
+	return LinComb{C: cc, P: p}, nil
+}
+
+// Name implements F.
+func (f LinComb) Name() string { return fmt.Sprintf("lincomb%g", f.P) }
+
+// Arity implements F.
+func (f LinComb) Arity() int { return len(f.C) }
+
+// Value implements F.
+func (f LinComb) Value(v []float64) float64 {
+	var t float64
+	for i, x := range v {
+		t += f.C[i] * x
+	}
+	return math.Pow(math.Abs(t), f.P)
+}
+
+// interval returns the range [lo, hi] of Σ c_i z_i over consistent z.
+func (f LinComb) interval(o sampling.TupleOutcome) (lo, hi float64) {
+	for i, known := range o.Known {
+		if known {
+			lo += f.C[i] * o.Vals[i]
+			hi += f.C[i] * o.Vals[i]
+			continue
+		}
+		term := f.C[i] * o.Bound(i)
+		lo += math.Min(0, term)
+		hi += math.Max(0, term)
+	}
+	return lo, hi
+}
+
+// Lower implements F: the distance of the interval from 0, exponentiated.
+func (f LinComb) Lower(o sampling.TupleOutcome) float64 {
+	lo, hi := f.interval(o)
+	return math.Pow(math.Max(0, math.Max(lo, -hi)), f.P)
+}
+
+// Upper implements F: the farthest interval endpoint from 0.
+func (f LinComb) Upper(o sampling.TupleOutcome) float64 {
+	lo, hi := f.interval(o)
+	return math.Pow(math.Max(math.Abs(lo), math.Abs(hi)), f.P)
+}
+
+// Family implements F: |Σc_i z_i| is componentwise monotone toward one of
+// the box corners, so the extreme corners span the lower-bound spread.
+func (f LinComb) Family(o sampling.TupleOutcome) [][]float64 {
+	return extremeFamily(o, 64)
+}
+
+var _ F = LinComb{}

@@ -1,0 +1,194 @@
+package funcs
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+)
+
+// MaxTuple is f(v) = max_i v_i. Under coordinated sampling its lower-bound
+// function is a step function (jumps at the inclusion thresholds of the
+// known entries), so the L* estimate has the exact form Σ Δ_j/b_j
+// (core.LStarStep). It is the workhorse of the closeness-similarity
+// application: α(min distance) = max of the per-instance α values.
+type MaxTuple struct{}
+
+// Name implements F.
+func (MaxTuple) Name() string { return "max" }
+
+// Arity implements F.
+func (MaxTuple) Arity() int { return 0 }
+
+// Value implements F.
+func (MaxTuple) Value(v []float64) float64 {
+	mx := 0.0
+	for _, x := range v {
+		mx = math.Max(mx, x)
+	}
+	return mx
+}
+
+// Lower implements F: unknown entries may be 0.
+func (MaxTuple) Lower(o sampling.TupleOutcome) float64 {
+	mx := 0.0
+	for i, known := range o.Known {
+		if known {
+			mx = math.Max(mx, o.Vals[i])
+		}
+	}
+	return mx
+}
+
+// Upper implements F: unknown entries approach their bounds.
+func (MaxTuple) Upper(o sampling.TupleOutcome) float64 {
+	mx := 0.0
+	for i := range o.Known {
+		mx = math.Max(mx, o.Bound(i))
+	}
+	return mx
+}
+
+// Family implements F: per-unknown extremes (0 or just below the bound);
+// max is monotone in every entry, so extremes realize the spread.
+func (MaxTuple) Family(o sampling.TupleOutcome) [][]float64 {
+	return extremeFamily(o, 64)
+}
+
+// Steps returns the outcome's lower-bound function as exact steps: entry i
+// (known, value w) is visible down to seed p_i = min(1, w/τ_i), so the
+// lower bound jumps wherever the running max over visible entries grows.
+func (MaxTuple) Steps(o sampling.TupleOutcome) []core.Step {
+	type pv struct{ p, v float64 }
+	var entries []pv
+	for i, known := range o.Known {
+		if known {
+			entries = append(entries, pv{
+				p: math.Min(1, o.Vals[i]/o.Scheme.Tau[i]),
+				v: o.Vals[i],
+			})
+		}
+	}
+	// Sweep from u = 1 downward: at u = p the entry becomes visible.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].p > entries[j].p })
+	var steps []core.Step
+	cur := 0.0
+	for _, e := range entries {
+		if e.v > cur {
+			steps = append(steps, core.Step{At: e.p, Delta: e.v - cur})
+			cur = e.v
+		}
+	}
+	return steps
+}
+
+// LStarClosed implements LStarClosedForm via the exact step formula.
+func (f MaxTuple) LStarClosed(o sampling.TupleOutcome) (float64, bool) {
+	return core.LStarStep(0, f.Steps(o), o.Rho), true
+}
+
+// OrTuple is the logical OR f(v) = 1[∃i: v_i > 0] — the distinct-count
+// summand of Example 1's discussion. Its L* estimate is the single-step
+// inverse-probability 1/p_max over the sampled entries.
+type OrTuple struct{}
+
+// Name implements F.
+func (OrTuple) Name() string { return "or" }
+
+// Arity implements F.
+func (OrTuple) Arity() int { return 0 }
+
+// Value implements F.
+func (OrTuple) Value(v []float64) float64 {
+	for _, x := range v {
+		if x > 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Lower implements F: a sampled entry proves a positive value.
+func (OrTuple) Lower(o sampling.TupleOutcome) float64 {
+	if o.NumKnown() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Upper implements F: an unknown entry can always be positive (bounds are
+// positive), and a zero entry is never sampled, so the supremum is 1
+// whenever the tuple is nonempty.
+func (OrTuple) Upper(o sampling.TupleOutcome) float64 {
+	if len(o.Known) == 0 {
+		return 0
+	}
+	return 1
+}
+
+// Family implements F.
+func (OrTuple) Family(o sampling.TupleOutcome) [][]float64 {
+	return extremeFamily(o, 64)
+}
+
+// LStarClosed implements LStarClosedForm: one step of height 1 at the
+// largest visible inclusion probability.
+func (OrTuple) LStarClosed(o sampling.TupleOutcome) (float64, bool) {
+	pmax := 0.0
+	for i, known := range o.Known {
+		if known {
+			pmax = math.Max(pmax, math.Min(1, o.Vals[i]/o.Scheme.Tau[i]))
+		}
+	}
+	if pmax == 0 || o.Rho > pmax {
+		return 0, true
+	}
+	return 1 / pmax, true
+}
+
+// extremeFamily enumerates consistent vectors with every unknown entry at 0
+// or just below its bound, capped at maxMembers by dropping to a single
+// all-low + per-entry-high set.
+func extremeFamily(o sampling.TupleOutcome, maxMembers int) [][]float64 {
+	var unknown []int
+	base := make([]float64, len(o.Known))
+	for i, known := range o.Known {
+		if known {
+			base[i] = o.Vals[i]
+		} else {
+			unknown = append(unknown, i)
+		}
+	}
+	if len(unknown) == 0 {
+		return [][]float64{base}
+	}
+	if pow(2, len(unknown)) > maxMembers {
+		// All-low plus one-high-at-a-time: linear-size spanning set.
+		out := [][]float64{append([]float64(nil), base...)}
+		for _, i := range unknown {
+			v := append([]float64(nil), base...)
+			v[i] = o.Bound(i) * (1 - 1e-6)
+			out = append(out, v)
+		}
+		return out
+	}
+	out := make([][]float64, 0, pow(2, len(unknown)))
+	for mask := 0; mask < pow(2, len(unknown)); mask++ {
+		v := append([]float64(nil), base...)
+		for bit, i := range unknown {
+			if mask&(1<<bit) != 0 {
+				v[i] = o.Bound(i) * (1 - 1e-6)
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+var (
+	_ F               = MaxTuple{}
+	_ LStarClosedForm = MaxTuple{}
+	_ F               = OrTuple{}
+	_ LStarClosedForm = OrTuple{}
+)

@@ -1,0 +1,218 @@
+package funcs
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sampling"
+)
+
+// RG is the symmetric exponentiated range RG_p(v) = (max(v) − min(v))^p
+// over r ≥ 2 entries — the summand of the Lp^p difference (Example 1).
+// For two instances under a common threshold, the lower-bound function on
+// the data path coincides with RGPlus of the sorted pair, so the Example 4
+// closed forms apply there too.
+type RG struct {
+	// P is the exponent; must be positive.
+	P float64
+}
+
+// NewRG validates the exponent.
+func NewRG(p float64) (RG, error) {
+	if p <= 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+		return RG{}, fmt.Errorf("funcs: RG exponent %g must be positive and finite", p)
+	}
+	return RG{P: p}, nil
+}
+
+// Name implements F.
+func (f RG) Name() string { return fmt.Sprintf("RG%g", f.P) }
+
+// Arity implements F: any tuple length (a single entry has range 0).
+func (f RG) Arity() int { return 0 }
+
+// Value implements F.
+func (f RG) Value(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	mn, mx := v[0], v[0]
+	for _, x := range v[1:] {
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	return math.Pow(mx-mn, f.P)
+}
+
+// Lower implements F. With K the known entries (values mn..mx) and U the
+// unknown ones (bounds b_i), the range-minimizing completion places each
+// unknown inside [mn, mx] when its bound allows and just below the bound
+// otherwise, giving inf = (mx − min(mn, min_{i∈U} b_i))^p; with no known
+// entry every completion can collapse to a point, giving 0.
+func (f RG) Lower(o sampling.TupleOutcome) float64 {
+	mn, mx := math.Inf(1), math.Inf(-1)
+	minBound := math.Inf(1)
+	for i, known := range o.Known {
+		if known {
+			mn = math.Min(mn, o.Vals[i])
+			mx = math.Max(mx, o.Vals[i])
+		} else {
+			minBound = math.Min(minBound, o.Bound(i))
+		}
+	}
+	if math.IsInf(mx, -1) {
+		return 0
+	}
+	return math.Pow(math.Max(0, mx-math.Min(mn, minBound)), f.P)
+}
+
+// Upper implements F. Each unknown entry is pushed to 0 ("low") or to its
+// bound ("high"); only the assignment with the single best high candidate
+// and everything else low can realize the supremum.
+func (f RG) Upper(o sampling.TupleOutcome) float64 {
+	mn, mx := math.Inf(1), math.Inf(-1)
+	var unknown []int
+	for i, known := range o.Known {
+		if known {
+			mn = math.Min(mn, o.Vals[i])
+			mx = math.Max(mx, o.Vals[i])
+		} else {
+			unknown = append(unknown, i)
+		}
+	}
+	best := 0.0
+	if !math.IsInf(mx, -1) {
+		best = mx - mn // all unknowns inside [mn, mx] is never the sup, but covers |U|=0
+		if len(unknown) > 0 {
+			best = math.Max(best, mx-0) // any unknown low
+		}
+	}
+	for _, j := range unknown {
+		bj := o.Bound(j)
+		hiMax := bj
+		if !math.IsInf(mx, -1) {
+			hiMax = math.Max(mx, bj)
+		}
+		lo := math.Inf(1)
+		if !math.IsInf(mn, 1) {
+			lo = mn
+		}
+		lo = math.Min(lo, bj) // the high entry's own value bounds the min
+		for _, k := range unknown {
+			if k != j {
+				lo = 0 // another unknown goes low
+				break
+			}
+		}
+		if lo == math.Inf(1) {
+			continue // single unknown entry alone: range 0
+		}
+		best = math.Max(best, hiMax-lo)
+	}
+	return math.Pow(math.Max(0, best), f.P)
+}
+
+// Family implements F: per-unknown sweeps over {0, b/3, 2b/3, b⁻}, capped
+// by falling back to extremes when the cross product would explode.
+func (f RG) Family(o sampling.TupleOutcome) [][]float64 {
+	const maxMembers = 72
+	sweep := 3
+	unknowns := len(o.Known) - o.NumKnown()
+	for unknowns > 0 && pow(sweep+1, unknowns) > maxMembers && sweep > 1 {
+		sweep--
+	}
+	grids := make([][]float64, len(o.Known))
+	total := 1
+	for i := range o.Known {
+		grids[i] = entrySweep(o, i, sweep)
+		total *= len(grids[i])
+	}
+	out := make([][]float64, 0, total)
+	idx := make([]int, len(grids))
+	for {
+		v := make([]float64, len(grids))
+		for i, g := range grids {
+			v[i] = g[idx[i]]
+		}
+		out = append(out, v)
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(grids[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			return out
+		}
+	}
+}
+
+func pow(base, exp int) int {
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+		if out > 1<<20 {
+			return out
+		}
+	}
+	return out
+}
+
+// LStarClosed implements LStarClosedForm for two instances by delegating to
+// RGPlus on the sorted pair: on the data path, knowing only the smaller
+// entry cannot happen (the larger clears any threshold the smaller does,
+// under a common τ), and in the remaining cases the lower-bound functions
+// coincide. When only one entry is known it must be treated as the larger.
+func (f RG) LStarClosed(o sampling.TupleOutcome) (float64, bool) {
+	swapped, ok := sortedPairOutcome(o)
+	if !ok {
+		return 0, false
+	}
+	return RGPlus{P: f.P}.LStarClosed(swapped)
+}
+
+// UStarClosed implements UStarClosedForm for two instances (see
+// LStarClosed for the reduction).
+func (f RG) UStarClosed(o sampling.TupleOutcome) (float64, bool) {
+	swapped, ok := sortedPairOutcome(o)
+	if !ok {
+		return 0, false
+	}
+	return RGPlus{P: f.P}.UStarClosed(swapped)
+}
+
+// sortedPairOutcome rewrites a two-entry common-τ outcome so that the
+// known/larger entry comes first, making RGPlus's closed forms applicable
+// to the symmetric range. It reports false for other shapes.
+func sortedPairOutcome(o sampling.TupleOutcome) (sampling.TupleOutcome, bool) {
+	if len(o.Known) != 2 {
+		return o, false
+	}
+	if _, ok := commonTau(o); !ok {
+		return o, false
+	}
+	swap := false
+	switch {
+	case o.Known[0] && o.Known[1]:
+		swap = o.Vals[1] > o.Vals[0]
+	case o.Known[1]:
+		swap = true
+	}
+	if !swap {
+		return o, true
+	}
+	return sampling.TupleOutcome{
+		Scheme: o.Scheme,
+		Rho:    o.Rho,
+		Known:  []bool{o.Known[1], o.Known[0]},
+		Vals:   []float64{o.Vals[1], o.Vals[0]},
+	}, true
+}
+
+var (
+	_ F               = RG{}
+	_ LStarClosedForm = RG{}
+	_ UStarClosedForm = RG{}
+)

@@ -1,0 +1,183 @@
+package funcs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/sampling"
+)
+
+func mustRG(t *testing.T, p float64) RG {
+	t.Helper()
+	f, err := NewRG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRGValue(t *testing.T) {
+	f := mustRG(t, 1)
+	tests := []struct {
+		v    []float64
+		want float64
+	}{
+		{[]float64{0.6, 0.2}, 0.4},
+		{[]float64{0.2, 0.6}, 0.4}, // symmetric
+		{[]float64{0.95, 0.15, 0.25}, 0.8},
+		{[]float64{0.5}, 0},
+		{[]float64{0.3, 0.3, 0.3}, 0},
+	}
+	for _, tt := range tests {
+		if got := f.Value(tt.v); !numeric.EqualWithin(got, tt.want, 1e-12) {
+			t.Errorf("RG1(%v) = %g, want %g", tt.v, got, tt.want)
+		}
+	}
+	f2 := mustRG(t, 2)
+	if got := f2.Value([]float64{0.6, 0.2}); !numeric.EqualWithin(got, 0.16, 1e-12) {
+		t.Errorf("RG2 = %g, want 0.16", got)
+	}
+}
+
+func TestRGLowerThreeInstances(t *testing.T) {
+	// v = (0.95, 0.15, 0.25) under PPS τ*=1.
+	s := sampling.UniformTuple(3)
+	f := mustRG(t, 1)
+	tests := []struct {
+		u    float64
+		want float64
+	}{
+		{0.10, 0.8},  // all known: 0.95 − 0.15
+		{0.20, 0.75}, // 0.95, 0.25 known; entry 2 bounded by 0.20 < 0.25
+		{0.30, 0.65}, // only 0.95 known; min bound 0.30
+		{0.96, 0},    // nothing known
+	}
+	for _, tt := range tests {
+		got := f.Lower(s.Sample([]float64{0.95, 0.15, 0.25}, tt.u))
+		if !numeric.EqualWithin(got, tt.want, 1e-12) {
+			t.Errorf("u=%g: Lower = %g, want %g", tt.u, got, tt.want)
+		}
+	}
+}
+
+func TestRGUpperCases(t *testing.T) {
+	s := sampling.UniformTuple(2)
+	f := mustRG(t, 1)
+	// Both known: revealed.
+	o := s.Sample([]float64{0.6, 0.2}, 0.1)
+	if got := f.Upper(o); !numeric.EqualWithin(got, 0.4, 1e-12) {
+		t.Errorf("both known Upper = %g, want 0.4", got)
+	}
+	// Only larger known at u=0.4: sup range = 0.6 (other entry → 0).
+	o = s.Sample([]float64{0.6, 0.2}, 0.4)
+	if got := f.Upper(o); !numeric.EqualWithin(got, 0.6, 1e-9) {
+		t.Errorf("one known Upper = %g, want 0.6", got)
+	}
+	// Nothing known at u=0.7: sup range → 0.7 (one high, one low).
+	o = s.Sample([]float64{0.6, 0.2}, 0.7)
+	if got := f.Upper(o); !numeric.EqualWithin(got, 0.7, 1e-9) {
+		t.Errorf("none known Upper = %g, want 0.7", got)
+	}
+	// Single-entry tuple: range is always 0.
+	s1 := sampling.UniformTuple(1)
+	if got := f.Upper(s1.Sample([]float64{0.5}, 0.7)); got != 0 {
+		t.Errorf("single entry Upper = %g, want 0", got)
+	}
+}
+
+func TestRGLowerUpperBracketProperty(t *testing.T) {
+	s := sampling.UniformTuple(3)
+	f := mustRG(t, 2)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		u := rng.Float64()*0.999 + 0.001
+		o := s.Sample(v, u)
+		val := f.Value(v)
+		return f.Lower(o) <= val+1e-9 && f.Upper(o) >= val-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRGClosedFormMatchesRGPlusSorted(t *testing.T) {
+	s := sampling.UniformTuple(2)
+	for _, p := range []float64{1, 2} {
+		f := mustRG(t, p)
+		// Symmetric: data with the larger value in either slot.
+		for _, v := range [][]float64{{0.6, 0.2}, {0.2, 0.6}, {0.8, 0.8}} {
+			for _, u := range []float64{0.1, 0.3, 0.5, 0.7, 1} {
+				o := s.Sample(v, u)
+				closed, ok := f.LStarClosed(o)
+				if !ok {
+					t.Fatal("closed form should apply")
+				}
+				generic := core.LStarAt(OutcomeLB(f, o), o.Rho)
+				if !numeric.EqualWithin(closed, generic, 1e-5) {
+					t.Errorf("p=%g v=%v u=%g: closed %g vs generic %g", p, v, u, closed, generic)
+				}
+			}
+		}
+	}
+}
+
+func TestRGLStarUnbiasedTwoAndThreeInstances(t *testing.T) {
+	for _, tc := range []struct {
+		r int
+		v []float64
+	}{
+		{2, []float64{0.6, 0.2}},
+		{2, []float64{0.2, 0.6}},
+		{3, []float64{0.95, 0.15, 0.25}},
+	} {
+		s := sampling.UniformTuple(tc.r)
+		f := mustRG(t, 1)
+		est := func(u float64) float64 { return EstimateLStar(f, s.Sample(tc.v, u)) }
+		got, err := numeric.IntegrateToZero(est, 1, numeric.QuadOptions{AbsTol: 1e-9})
+		if err != nil {
+			t.Fatalf("v=%v: %v", tc.v, err)
+		}
+		if want := f.Value(tc.v); !numeric.EqualWithin(got, want, 2e-3) {
+			t.Errorf("v=%v: E[L*] = %g, want %g", tc.v, got, want)
+		}
+	}
+}
+
+func TestRGFamilyIncludesExtremes(t *testing.T) {
+	s := sampling.UniformTuple(2)
+	f := mustRG(t, 1)
+	o := s.Sample([]float64{0.6, 0.2}, 0.4) // entry 2 unknown
+	fam := f.Family(o)
+	if len(fam) == 0 {
+		t.Fatal("family empty")
+	}
+	foundLo, foundHi := false, false
+	for _, z := range fam {
+		if z[0] != 0.6 {
+			t.Fatalf("family member %v breaks the known entry", z)
+		}
+		if z[1] == 0 {
+			foundLo = true
+		}
+		if z[1] > 0.39 {
+			foundHi = true
+		}
+	}
+	if !foundLo || !foundHi {
+		t.Errorf("family misses extremes: lo=%v hi=%v", foundLo, foundHi)
+	}
+}
+
+func TestRGFamilyCapRespected(t *testing.T) {
+	s := sampling.UniformTuple(6)
+	f := mustRG(t, 1)
+	o := s.Sample([]float64{0.9, 0.01, 0.01, 0.01, 0.01, 0.01}, 0.5) // 5 unknowns
+	fam := f.Family(o)
+	if len(fam) == 0 || len(fam) > 72 {
+		t.Errorf("family size %d outside (0, 72]", len(fam))
+	}
+}

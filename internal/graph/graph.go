@@ -1,0 +1,214 @@
+// Package graph is the graph substrate for the sketch-based similarity
+// application (Section 7 of the paper): weighted graphs, Dijkstra, and
+// synthetic social-network generators.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Edge is a weighted arc.
+type Edge struct {
+	// To is the head vertex.
+	To int
+	// W is the nonnegative length.
+	W float64
+}
+
+// Graph is a directed weighted graph; use AddUndirected for symmetric
+// relations.
+type Graph struct {
+	adj [][]Edge
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("graph: vertex count %d must be positive", n)
+	}
+	return &Graph{adj: make([][]Edge, n)}, nil
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddEdge inserts the arc u→v with length w.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= g.N() || v < 0 || v >= g.N() {
+		return fmt.Errorf("graph: edge (%d,%d) outside [0,%d)", u, v, g.N())
+	}
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("graph: edge weight %g invalid", w)
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, W: w})
+	return nil
+}
+
+// AddUndirected inserts both arcs.
+func (g *Graph) AddUndirected(u, v int, w float64) error {
+	if err := g.AddEdge(u, v, w); err != nil {
+		return err
+	}
+	return g.AddEdge(v, u, w)
+}
+
+// Degree returns the out-degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// pqItem is a Dijkstra heap entry.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra returns shortest-path distances from src (+Inf if unreachable).
+func (g *Graph) Dijkstra(src int) []float64 {
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.dist + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// VisitAscending runs Dijkstra from src and invokes visit for each
+// reachable vertex in order of increasing distance (ties broken by vertex
+// id via the heap's determinism). Returning false stops the scan. This is
+// the traversal order all-distances sketches are built in.
+func (g *Graph) VisitAscending(src int, visit func(node int, dist float64) bool) {
+	dist := make([]float64, g.N())
+	done := make([]bool, g.N())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] || it.dist > dist[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if !visit(it.node, it.dist) {
+			return
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.dist + e.W; nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+}
+
+// ErdosRenyi samples an undirected G(n, p) graph with unit edge lengths.
+func ErdosRenyi(n int, p float64, seed int64) (*Graph, error) {
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: edge probability %g outside [0,1]", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				if err := g.AddUndirected(u, v, 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// PreferentialAttachment grows a Barabási–Albert-style graph: each new
+// vertex attaches m edges to existing vertices chosen proportionally to
+// degree (unit lengths). Produces the heavy-tailed degree profile of
+// social networks.
+func PreferentialAttachment(n, m int, seed int64) (*Graph, error) {
+	if m <= 0 || n <= m {
+		return nil, fmt.Errorf("graph: need n > m > 0, got n=%d m=%d", n, m)
+	}
+	g, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// targets repeats vertex ids by degree for proportional selection.
+	var targets []int
+	for v := 0; v < m; v++ {
+		if err := g.AddUndirected(v, (v+1)%m, 1); err != nil && m > 1 {
+			return nil, err
+		}
+		targets = append(targets, v, v)
+	}
+	for v := m; v < n; v++ {
+		chosen := make(map[int]bool, m)
+		for len(chosen) < m {
+			chosen[targets[rng.Intn(len(targets))]] = true
+		}
+		for u := range chosen {
+			if err := g.AddUndirected(v, u, 1); err != nil {
+				return nil, err
+			}
+			targets = append(targets, u, v)
+		}
+	}
+	return g, nil
+}
+
+// Grid2D builds a rows×cols lattice with unit edge lengths.
+func Grid2D(rows, cols int) (*Graph, error) {
+	g, err := New(rows * cols)
+	if err != nil {
+		return nil, err
+	}
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := g.AddUndirected(id(r, c), id(r, c+1), 1); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := g.AddUndirected(id(r, c), id(r+1, c), 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

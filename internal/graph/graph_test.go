@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDijkstraAgainstFloydWarshall(t *testing.T) {
+	g, err := ErdosRenyi(40, 0.15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	// Floyd–Warshall reference.
+	const inf = math.MaxFloat64 / 4
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = inf
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		for _, e := range g.adj[u] {
+			if e.W < d[u][e.To] {
+				d[u][e.To] = e.W
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+				}
+			}
+		}
+	}
+	for src := 0; src < n; src++ {
+		dist := g.Dijkstra(src)
+		for v := 0; v < n; v++ {
+			want := d[src][v]
+			if want >= inf {
+				if !math.IsInf(dist[v], 1) {
+					t.Errorf("dist[%d][%d] = %g, want +Inf", src, v, dist[v])
+				}
+				continue
+			}
+			if dist[v] != want {
+				t.Errorf("dist[%d][%d] = %g, want %g", src, v, dist[v], want)
+			}
+		}
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	g, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []struct {
+		u, v int
+		w    float64
+	}{{0, 1, 1}, {1, 2, 1}, {0, 2, 5}, {2, 3, 1}} {
+		if err := g.AddUndirected(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dist := g.Dijkstra(0)
+	want := []float64{0, 1, 2, 3}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Errorf("dist[%d] = %g, want %g", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestVisitAscendingOrderAndPrefix(t *testing.T) {
+	g, err := Grid2D(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dists []float64
+	g.VisitAscending(12, func(node int, dist float64) bool {
+		dists = append(dists, dist)
+		return true
+	})
+	if len(dists) != 25 {
+		t.Fatalf("visited %d nodes, want 25", len(dists))
+	}
+	for i := 1; i < len(dists); i++ {
+		if dists[i] < dists[i-1] {
+			t.Fatal("visit order not ascending in distance")
+		}
+	}
+	// Early stop.
+	count := 0
+	g.VisitAscending(12, func(int, float64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d, want 5", count)
+	}
+	// Distances agree with Dijkstra.
+	dist := g.Dijkstra(12)
+	seen := make(map[int]float64)
+	g.VisitAscending(12, func(node int, d float64) bool {
+		seen[node] = d
+		return true
+	})
+	for v, d := range seen {
+		if dist[v] != d {
+			t.Errorf("VisitAscending dist[%d] = %g, Dijkstra %g", v, d, dist[v])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) should fail")
+	}
+	g, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range edge should fail")
+	}
+	if err := g.AddEdge(0, 1, -1); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if err := g.AddEdge(0, 1, math.NaN()); err == nil {
+		t.Error("NaN weight should fail")
+	}
+	if _, err := ErdosRenyi(5, 1.5, 0); err == nil {
+		t.Error("p > 1 should fail")
+	}
+	if _, err := PreferentialAttachment(3, 3, 0); err == nil {
+		t.Error("n ≤ m should fail")
+	}
+}
+
+func TestPreferentialAttachmentShape(t *testing.T) {
+	g, err := PreferentialAttachment(500, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("N = %d, want 500", g.N())
+	}
+	// Connected: every node reachable from 0.
+	dist := g.Dijkstra(0)
+	maxDeg := 0
+	var totalDeg int
+	for v := 0; v < g.N(); v++ {
+		if math.IsInf(dist[v], 1) {
+			t.Fatalf("node %d unreachable", v)
+		}
+		deg := g.Degree(v)
+		totalDeg += deg
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	// Heavy tail: the max degree should far exceed the mean.
+	mean := float64(totalDeg) / float64(g.N())
+	if float64(maxDeg) < 3*mean {
+		t.Errorf("max degree %d not heavy-tailed vs mean %g", maxDeg, mean)
+	}
+}
+
+func TestGrid2DDistances(t *testing.T) {
+	g, err := Grid2D(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := g.Dijkstra(0)
+	// Manhattan distances on the lattice.
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			if want := float64(r + c); dist[r*4+c] != want {
+				t.Errorf("dist[%d,%d] = %g, want %g", r, c, dist[r*4+c], want)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package hull computes lower convex hulls (greatest convex minorants) of
+// planar point sets and exposes them as piecewise-linear functions.
+//
+// In the paper's framework (Cohen, PODC 2014), the v-optimal estimator for a
+// data vector v is the negated slope of the lower hull of the lower-bound
+// function f^(v) on (0,1] (Theorem 2.1), and the minimum attainable
+// E[f̂²|v] is the integral of the squared hull slope. The order-optimal
+// construction of Section 5 repeatedly takes hulls anchored at a point
+// (ρ, M) carrying the mass already committed by less-informative outcomes.
+package hull
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a planar point.
+type Point struct {
+	X, Y float64
+}
+
+// Lower returns the lower convex hull of pts as a piecewise-linear function.
+// The hull is the greatest convex function lying on or below every input
+// point; its vertex set is a subset of pts. Points sharing an X coordinate
+// collapse to the one with minimum Y. At least one point is required.
+//
+// The input slice is not modified.
+func Lower(pts []Point) (PiecewiseLinear, error) {
+	if len(pts) == 0 {
+		return PiecewiseLinear{}, fmt.Errorf("hull: no points")
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Deduplicate by X keeping the minimum Y (which sorts first).
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if p.X == uniq[len(uniq)-1].X {
+			continue
+		}
+		if math.IsNaN(p.Y) || math.IsInf(p.Y, 0) || math.IsNaN(p.X) || math.IsInf(p.X, 0) {
+			return PiecewiseLinear{}, fmt.Errorf("hull: non-finite input point (%g, %g)", p.X, p.Y)
+		}
+		uniq = append(uniq, p)
+	}
+	// Monotone chain: keep vertices with strictly increasing slopes.
+	h := make([]Point, 0, len(uniq))
+	for _, p := range uniq {
+		for len(h) >= 2 && !rightTurn(h[len(h)-2], h[len(h)-1], p) {
+			h = h[:len(h)-1]
+		}
+		h = append(h, p)
+	}
+	pl := PiecewiseLinear{xs: make([]float64, len(h)), ys: make([]float64, len(h))}
+	for i, p := range h {
+		pl.xs[i], pl.ys[i] = p.X, p.Y
+	}
+	return pl, nil
+}
+
+// rightTurn reports whether the middle point b lies strictly below the
+// segment ac, i.e. keeping b preserves convexity of the lower chain.
+func rightTurn(a, b, c Point) bool {
+	// Cross product of (b-a) x (c-a); positive means c is above line ab,
+	// i.e. the chain turns left at b — convex for a lower hull.
+	return (b.X-a.X)*(c.Y-a.Y)-(b.Y-a.Y)*(c.X-a.X) > 0
+}
+
+// PiecewiseLinear is a continuous piecewise-linear function given by its
+// breakpoints. Hulls returned by Lower are convex (non-decreasing slopes).
+// The zero value is an empty function whose methods return zeros.
+type PiecewiseLinear struct {
+	xs, ys []float64
+}
+
+// FromBreakpoints builds a piecewise-linear function directly from sorted
+// breakpoints. xs must be strictly increasing and the slices equal length.
+func FromBreakpoints(xs, ys []float64) (PiecewiseLinear, error) {
+	if len(xs) != len(ys) {
+		return PiecewiseLinear{}, fmt.Errorf("hull: breakpoint length mismatch %d vs %d", len(xs), len(ys))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return PiecewiseLinear{}, fmt.Errorf("hull: breakpoints not strictly increasing at %d", i)
+		}
+	}
+	cx := make([]float64, len(xs))
+	cy := make([]float64, len(ys))
+	copy(cx, xs)
+	copy(cy, ys)
+	return PiecewiseLinear{xs: cx, ys: cy}, nil
+}
+
+// Len returns the number of breakpoints.
+func (p PiecewiseLinear) Len() int { return len(p.xs) }
+
+// Breakpoint returns the i-th breakpoint.
+func (p PiecewiseLinear) Breakpoint(i int) Point { return Point{p.xs[i], p.ys[i]} }
+
+// XMin returns the leftmost breakpoint abscissa.
+func (p PiecewiseLinear) XMin() float64 {
+	if len(p.xs) == 0 {
+		return 0
+	}
+	return p.xs[0]
+}
+
+// XMax returns the rightmost breakpoint abscissa.
+func (p PiecewiseLinear) XMax() float64 {
+	if len(p.xs) == 0 {
+		return 0
+	}
+	return p.xs[len(p.xs)-1]
+}
+
+// Eval evaluates the function at x by linear interpolation. Outside the
+// breakpoint range the nearest segment is extrapolated linearly; with a
+// single breakpoint the constant value is returned.
+func (p PiecewiseLinear) Eval(x float64) float64 {
+	n := len(p.xs)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return p.ys[0]
+	}
+	i := p.segmentLeft(x)
+	x0, y0 := p.xs[i], p.ys[i]
+	x1, y1 := p.xs[i+1], p.ys[i+1]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// segmentLeft returns the index i of the segment [xs[i], xs[i+1]] such that
+// x lies in (xs[i], xs[i+1]], clamped to the outermost segments. The
+// half-open-left convention matches the paper's outcome intervals (a, b].
+func (p PiecewiseLinear) segmentLeft(x float64) int {
+	n := len(p.xs)
+	// sort.SearchFloat64s finds the first index with xs[i] >= x.
+	i := sort.SearchFloat64s(p.xs, x)
+	// x in (xs[i-1], xs[i]] -> segment i-1.
+	switch {
+	case i <= 1:
+		return 0
+	case i >= n:
+		return n - 2
+	default:
+		return i - 1
+	}
+}
+
+// SlopeLeft returns the slope of the segment covering (x0, x] at x. For a
+// convex hull of a lower-bound function, the negated SlopeLeft at u is the
+// v-optimal estimate on the outcome with seed u (Theorem 2.1).
+func (p PiecewiseLinear) SlopeLeft(x float64) float64 {
+	if len(p.xs) < 2 {
+		return 0
+	}
+	i := p.segmentLeft(x)
+	return (p.ys[i+1] - p.ys[i]) / (p.xs[i+1] - p.xs[i])
+}
+
+// IsConvex reports whether slopes are non-decreasing left to right, with a
+// tolerance for floating-point noise relative to the slope magnitudes.
+func (p PiecewiseLinear) IsConvex(tol float64) bool {
+	prev := math.Inf(-1)
+	for i := 0; i+1 < len(p.xs); i++ {
+		s := (p.ys[i+1] - p.ys[i]) / (p.xs[i+1] - p.xs[i])
+		if s < prev-tol*(1+math.Abs(prev)) {
+			return false
+		}
+		prev = s
+	}
+	return true
+}
+
+// IntegralSquaredSlope integrates slope(x)² over [a, b] clipped to the
+// function's domain. For a hull of a lower-bound function on [0,1] this is
+// the minimum attainable E[f̂²|v] over unbiased nonnegative estimators.
+func (p PiecewiseLinear) IntegralSquaredSlope(a, b float64) float64 {
+	if len(p.xs) < 2 || b <= a {
+		return 0
+	}
+	var total float64
+	for i := 0; i+1 < len(p.xs); i++ {
+		lo := math.Max(a, p.xs[i])
+		hi := math.Min(b, p.xs[i+1])
+		if hi <= lo {
+			continue
+		}
+		s := (p.ys[i+1] - p.ys[i]) / (p.xs[i+1] - p.xs[i])
+		total += s * s * (hi - lo)
+	}
+	return total
+}
+
+// Integral integrates the function itself over [a, b] clipped to the domain
+// (trapezoid areas, exact for piecewise-linear).
+func (p PiecewiseLinear) Integral(a, b float64) float64 {
+	if len(p.xs) < 2 || b <= a {
+		return 0
+	}
+	var total float64
+	for i := 0; i+1 < len(p.xs); i++ {
+		lo := math.Max(a, p.xs[i])
+		hi := math.Min(b, p.xs[i+1])
+		if hi <= lo {
+			continue
+		}
+		total += 0.5 * (p.Eval(lo) + p.Eval(hi)) * (hi - lo)
+	}
+	return total
+}
+
+// Below reports whether the function lies on or below all the given points,
+// within tolerance. Hulls produced by Lower satisfy this by construction.
+func (p PiecewiseLinear) Below(pts []Point, tol float64) bool {
+	for _, q := range pts {
+		if q.X < p.XMin() || q.X > p.XMax() {
+			continue
+		}
+		if p.Eval(q.X) > q.Y+tol*(1+math.Abs(q.Y)) {
+			return false
+		}
+	}
+	return true
+}

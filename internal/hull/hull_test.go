@@ -1,0 +1,213 @@
+package hull
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLowerSimpleShapes(t *testing.T) {
+	tests := []struct {
+		name     string
+		pts      []Point
+		wantXs   []float64
+		wantYs   []float64
+		wantSegs int
+	}{
+		{
+			name:   "two points",
+			pts:    []Point{{0, 1}, {1, 0}},
+			wantXs: []float64{0, 1},
+			wantYs: []float64{1, 0},
+		},
+		{
+			name:   "middle point above is dropped",
+			pts:    []Point{{0, 0}, {0.5, 1}, {1, 0}},
+			wantXs: []float64{0, 1},
+			wantYs: []float64{0, 0},
+		},
+		{
+			name:   "middle point below is kept",
+			pts:    []Point{{0, 0}, {0.5, -1}, {1, 0}},
+			wantXs: []float64{0, 0.5, 1},
+			wantYs: []float64{0, -1, 0},
+		},
+		{
+			name:   "collinear middle removed",
+			pts:    []Point{{0, 0}, {0.5, 0.5}, {1, 1}},
+			wantXs: []float64{0, 1},
+			wantYs: []float64{0, 1},
+		},
+		{
+			name:   "duplicate x keeps lower y",
+			pts:    []Point{{0, 3}, {0, 1}, {1, 0}},
+			wantXs: []float64{0, 1},
+			wantYs: []float64{1, 0},
+		},
+		{
+			name:   "unsorted input",
+			pts:    []Point{{1, 0}, {0, 0}, {0.25, -2}},
+			wantXs: []float64{0, 0.25, 1},
+			wantYs: []float64{0, -2, 0},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h, err := Lower(tt.pts)
+			if err != nil {
+				t.Fatalf("Lower() error: %v", err)
+			}
+			if h.Len() != len(tt.wantXs) {
+				t.Fatalf("Len() = %d, want %d (xs=%v)", h.Len(), len(tt.wantXs), h.xs)
+			}
+			for i := range tt.wantXs {
+				bp := h.Breakpoint(i)
+				if bp.X != tt.wantXs[i] || bp.Y != tt.wantYs[i] {
+					t.Errorf("breakpoint %d = (%g,%g), want (%g,%g)", i, bp.X, bp.Y, tt.wantXs[i], tt.wantYs[i])
+				}
+			}
+		})
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	if _, err := Lower(nil); err == nil {
+		t.Error("Lower(nil) should fail")
+	}
+	if _, err := Lower([]Point{{0, 0}, {1, math.NaN()}}); err == nil {
+		t.Error("Lower with NaN should fail")
+	}
+}
+
+func TestLowerHullProperties(t *testing.T) {
+	// Property: hull is convex, below all points, and agrees with the
+	// pointwise minimum at the extremes of x.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64(), Y: rng.NormFloat64()}
+		}
+		h, err := Lower(pts)
+		if err != nil {
+			return false
+		}
+		if !h.IsConvex(1e-9) {
+			return false
+		}
+		return h.Below(pts, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHullOfConvexFunctionIsFunction(t *testing.T) {
+	// For a convex function, the hull of a dense sample should interpolate
+	// the sample closely.
+	f := func(x float64) float64 { return (x - 0.3) * (x - 0.3) }
+	var pts []Point
+	for i := 0; i <= 100; i++ {
+		x := float64(i) / 100
+		pts = append(pts, Point{x, f(x)})
+	}
+	h, err := Lower(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.05, 0.31, 0.5, 0.77, 0.99} {
+		if got, want := h.Eval(x), f(x); math.Abs(got-want) > 1e-3 {
+			t.Errorf("Eval(%g) = %g, want ≈ %g", x, got, want)
+		}
+	}
+}
+
+func TestEvalAndSlopeLeft(t *testing.T) {
+	h, err := FromBreakpoints([]float64{0, 1, 2}, []float64{0, -1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x         float64
+		wantEval  float64
+		wantSlope float64
+	}{
+		{0.5, -0.5, -1},
+		{1, -1, -1}, // half-open-left: slope at breakpoint is the left segment's
+		{1.5, 0, 2},
+		{2, 1, 2},
+		{0, 0, -1}, // clamped to first segment
+	}
+	for _, tt := range tests {
+		if got := h.Eval(tt.x); math.Abs(got-tt.wantEval) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", tt.x, got, tt.wantEval)
+		}
+		if got := h.SlopeLeft(tt.x); math.Abs(got-tt.wantSlope) > 1e-12 {
+			t.Errorf("SlopeLeft(%g) = %g, want %g", tt.x, got, tt.wantSlope)
+		}
+	}
+}
+
+func TestIntegralSquaredSlope(t *testing.T) {
+	// Slopes: -1 on [0,1], 2 on [1,2]. ∫ slope² = 1 + 4 = 5.
+	h, err := FromBreakpoints([]float64{0, 1, 2}, []float64{0, -1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.IntegralSquaredSlope(0, 2); math.Abs(got-5) > 1e-12 {
+		t.Errorf("IntegralSquaredSlope = %g, want 5", got)
+	}
+	// Clipped: [0.5, 1.5] -> 0.5*1 + 0.5*4 = 2.5.
+	if got := h.IntegralSquaredSlope(0.5, 1.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("clipped IntegralSquaredSlope = %g, want 2.5", got)
+	}
+}
+
+func TestIntegral(t *testing.T) {
+	h, err := FromBreakpoints([]float64{0, 1, 2}, []float64{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Integral(0, 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Integral = %g, want 1 (triangle area)", got)
+	}
+	if got := h.Integral(0.5, 1.5); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("clipped Integral = %g, want 0.75", got)
+	}
+}
+
+func TestFromBreakpointsValidation(t *testing.T) {
+	if _, err := FromBreakpoints([]float64{0, 1}, []float64{0}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := FromBreakpoints([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing xs should fail")
+	}
+}
+
+func TestAnchoredHullPassesThroughAnchor(t *testing.T) {
+	// The order-optimal construction anchors hulls at (ρ, M) with M at or
+	// below the lower-bound value; the rightmost point is always a vertex.
+	pts := []Point{{0, 2}, {0.2, 2}, {0.5, 1}, {0.8, 0.4}} // lower-bound samples
+	anchor := Point{0.8, 0.1}                              // M < f^(v)(0.8)
+	h, err := Lower(append(pts, anchor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := h.Breakpoint(h.Len() - 1)
+	if last != anchor {
+		t.Errorf("rightmost hull vertex = %+v, want anchor %+v", last, anchor)
+	}
+}
+
+func TestZeroValuePiecewiseLinear(t *testing.T) {
+	var p PiecewiseLinear
+	if p.Eval(0.5) != 0 || p.SlopeLeft(0.5) != 0 || p.IntegralSquaredSlope(0, 1) != 0 {
+		t.Error("zero value should behave as the zero function")
+	}
+	if p.Len() != 0 {
+		t.Error("zero value Len should be 0")
+	}
+}

@@ -1,0 +1,7 @@
+// Package numeric provides the small numerical substrate used throughout the
+// repository: adaptive quadrature, compensated summation, bracketing
+// minimization, grids, and tolerant float comparison.
+//
+// Everything is deterministic and allocation-light; the estimator code in
+// internal/core is the primary consumer.
+package numeric

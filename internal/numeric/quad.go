@@ -1,0 +1,168 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is reported when an iterative routine exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNoConvergence = errors.New("numeric: no convergence")
+
+// Func1 is a scalar function of one variable.
+type Func1 func(x float64) float64
+
+// QuadOptions controls adaptive quadrature.
+type QuadOptions struct {
+	// AbsTol is the absolute error target. Default 1e-10.
+	AbsTol float64
+	// RelTol is the relative error target. Default 1e-9.
+	RelTol float64
+	// MaxDepth bounds the recursion depth. Default 48.
+	MaxDepth int
+	// MaxEvals bounds the total integrand evaluations per IntegrateOpt
+	// call. Deep recursion is cheap when it localizes around isolated
+	// kinks, but a noisy integrand (e.g. finite-difference derivatives)
+	// fails the tolerance everywhere and would otherwise explore an
+	// exponential bisection tree. Default 400000.
+	MaxEvals int
+}
+
+func (o QuadOptions) withDefaults() QuadOptions {
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-10
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-9
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 48
+	}
+	if o.MaxEvals <= 0 {
+		o.MaxEvals = 400000
+	}
+	return o
+}
+
+// Integrate computes the definite integral of f over [a, b] with adaptive
+// Simpson quadrature and default tolerances. It is the convenience form of
+// IntegrateOpt.
+func Integrate(f Func1, a, b float64) float64 {
+	v, _ := IntegrateOpt(f, a, b, QuadOptions{})
+	return v
+}
+
+// IntegrateOpt computes the definite integral of f over [a, b] with adaptive
+// Simpson quadrature. The returned error is non-nil when the recursion budget
+// was exhausted somewhere; the value is still the best available estimate.
+//
+// Integrands coming from lower-bound functions are piecewise smooth with a
+// modest number of kinks or jumps, which adaptive Simpson handles well: the
+// recursion isolates each kink. Integrable endpoint singularities (such as
+// u^-p near 0 for p < 1) are handled by the depth-bounded bisection.
+func IntegrateOpt(f Func1, a, b float64, opt QuadOptions) (float64, error) {
+	if a == b {
+		return 0, nil
+	}
+	if b < a {
+		v, err := IntegrateOpt(f, b, a, opt)
+		return -v, err
+	}
+	opt = opt.withDefaults()
+	// Composite start: 16 panels before adaptivity. A single top-level
+	// Simpson probe (3 points) can land entirely outside a narrow feature
+	// (estimator pulses such as U* on (v2, v1]) and "converge" to 0; the
+	// composite start bounds the width of features that can hide.
+	const panels = 16
+	var (
+		sum       Kahan
+		exhausted bool
+	)
+	evals := opt.MaxEvals
+	h := (b - a) / panels
+	x0, f0 := a, f(a)
+	for i := 1; i <= panels; i++ {
+		x1 := a + float64(i)*h
+		if i == panels {
+			x1 = b
+		}
+		f1 := f(x1)
+		m := 0.5 * (x0 + x1)
+		fm := f(m)
+		whole := simpson(x0, x1, f0, fm, f1)
+		sum.Add(adaptSimpson(f, x0, x1, f0, fm, f1, whole,
+			opt.AbsTol/panels, opt.RelTol, opt.MaxDepth, opt.AbsTol/panels, &evals, &exhausted))
+		x0, f0 = x1, f1
+	}
+	if exhausted {
+		return sum.Sum(), fmt.Errorf("integrating over [%g, %g]: %w", a, b, ErrNoConvergence)
+	}
+	return sum.Sum(), nil
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptSimpson(f Func1, a, b, fa, fm, fb, whole, absTol, relTol float64, depth int, flagTol float64, evals *int, exhausted *bool) float64 {
+	m := 0.5 * (a + b)
+	lm := 0.5 * (a + m)
+	rm := 0.5 * (m + b)
+	flm, frm := f(lm), f(rm)
+	*evals -= 2
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	delta := left + right - whole
+	if math.Abs(delta) <= 15*math.Max(absTol, relTol*math.Abs(left+right)) {
+		return left + right + delta/15
+	}
+	if depth <= 0 || *evals <= 0 || math.IsNaN(delta) {
+		// Only report exhaustion when the residual is material against the
+		// caller's original tolerance: bounded jump discontinuities pin the
+		// recursion to machine-width intervals whose residuals are
+		// negligible, whereas genuine divergences leave large residuals.
+		// NaN can never satisfy the tolerance; recursing on it would
+		// explore the full 2^depth bisection tree, so it surfaces here too,
+		// as does running out of the evaluation budget.
+		if !(math.Abs(delta)/15 <= flagTol) {
+			*exhausted = true
+		}
+		return left + right + delta/15
+	}
+	return adaptSimpson(f, a, m, fa, flm, fm, left, absTol/2, relTol, depth-1, flagTol, evals, exhausted) +
+		adaptSimpson(f, m, b, fm, frm, fb, right, absTol/2, relTol, depth-1, flagTol, evals, exhausted)
+}
+
+// IntegrateToZero integrates f over (0, b] where f may have an integrable
+// singularity at 0. It splits the interval at a geometric sequence of
+// breakpoints approaching 0 and stops once the contribution of the innermost
+// slice falls below the tolerance.
+func IntegrateToZero(f Func1, b float64, opt QuadOptions) (float64, error) {
+	opt = opt.withDefaults()
+	if b <= 0 {
+		return 0, nil
+	}
+	var sum Kahan
+	hi := b
+	var firstErr error
+	// Slices [hi/4, hi] shrink geometrically; for u^-p integrands the slice
+	// contributions decay like 4^{-(1-p)i}, so the loop bound must be large
+	// enough for p close to 1. Underflow of hi terminates in any case.
+	for i := 0; i < 600 && hi > 1e-300; i++ {
+		lo := hi / 4
+		v, err := IntegrateOpt(f, lo, hi, opt)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if math.IsNaN(v) {
+			return math.NaN(), fmt.Errorf("integrand NaN in [%g, %g]: %w", lo, hi, ErrNoConvergence)
+		}
+		sum.Add(v)
+		if math.Abs(v) < opt.AbsTol && i > 2 {
+			return sum.Sum(), firstErr
+		}
+		hi = lo
+	}
+	return sum.Sum(), firstErr
+}

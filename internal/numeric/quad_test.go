@@ -1,0 +1,135 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntegratePolynomials(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Func1
+		a, b float64
+		want float64
+	}{
+		{"constant", func(x float64) float64 { return 3 }, 0, 2, 6},
+		{"linear", func(x float64) float64 { return x }, 0, 1, 0.5},
+		{"quadratic", func(x float64) float64 { return x * x }, 0, 1, 1.0 / 3},
+		{"cubic shifted", func(x float64) float64 { return x*x*x - 2*x }, -1, 3, 12},
+		{"reversed bounds", func(x float64) float64 { return x }, 1, 0, -0.5},
+		{"empty interval", func(x float64) float64 { return 42 }, 1, 1, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := IntegrateOpt(tt.f, tt.a, tt.b, QuadOptions{})
+			if err != nil {
+				t.Fatalf("IntegrateOpt() error: %v", err)
+			}
+			if !EqualWithin(got, tt.want, 1e-9) {
+				t.Errorf("IntegrateOpt() = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntegrateTranscendental(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Func1
+		a, b float64
+		want float64
+	}{
+		{"sin over half period", math.Sin, 0, math.Pi, 2},
+		{"exp", math.Exp, 0, 1, math.E - 1},
+		{"1/x", func(x float64) float64 { return 1 / x }, 1, math.E, 1},
+		{"kinked abs", math.Abs, -1, 2, 2.5},
+		{"step", func(x float64) float64 {
+			if x < 0.3 {
+				return 1
+			}
+			return 2
+		}, 0, 1, 1.7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Integrate(tt.f, tt.a, tt.b)
+			if !EqualWithin(got, tt.want, 1e-7) {
+				t.Errorf("Integrate() = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIntegrateToZeroSingularities(t *testing.T) {
+	// ∫0^1 u^-p du = 1/(1-p) for p < 1: integrable endpoint singularity.
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		f := func(u float64) float64 { return math.Pow(u, -p) }
+		got, err := IntegrateToZero(f, 1, QuadOptions{AbsTol: 1e-12})
+		if err != nil {
+			t.Fatalf("p=%g: error: %v", p, err)
+		}
+		want := 1 / (1 - p)
+		if !EqualWithin(got, want, 1e-6) {
+			t.Errorf("p=%g: got %g, want %g", p, got, want)
+		}
+	}
+	// -log has an integrable singularity too: ∫0^1 -ln u du = 1.
+	got, err := IntegrateToZero(func(u float64) float64 { return -math.Log(u) }, 1, QuadOptions{})
+	if err != nil {
+		t.Fatalf("log: error: %v", err)
+	}
+	if !EqualWithin(got, 1, 1e-8) {
+		t.Errorf("∫ -ln = %g, want 1", got)
+	}
+}
+
+func TestIntegrateAdditivityProperty(t *testing.T) {
+	// ∫a^b + ∫b^c = ∫a^c for random polynomial-ish integrands.
+	f := func(x float64) float64 { return 3*x*x - x + math.Sin(3*x) }
+	prop := func(a, m, c uint16) bool {
+		x := float64(a%1000) / 1000
+		y := x + float64(m%1000)/1000
+		z := y + float64(c%1000)/1000
+		left := Integrate(f, x, y) + Integrate(f, y, z)
+		whole := Integrate(f, x, z)
+		return EqualWithin(left, whole, 1e-7)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKahanCompensation(t *testing.T) {
+	// Summing many tiny values onto a huge one loses everything with naive
+	// accumulation but not with compensation.
+	var k Kahan
+	k.Add(1e16)
+	for i := 0; i < 10000; i++ {
+		k.Add(1.0)
+	}
+	if got, want := k.Sum(), 1e16+10000; got != want {
+		t.Errorf("Kahan sum = %g, want %g", got, want)
+	}
+}
+
+func TestSumMatchesNaiveOnBenignInput(t *testing.T) {
+	prop := func(xs []float64) bool {
+		var naive float64
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				ok = false
+				break
+			}
+			naive += x
+		}
+		if !ok {
+			return true // skip pathological inputs
+		}
+		return EqualWithin(Sum(xs), naive, 1e-6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

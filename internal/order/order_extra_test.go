@@ -1,0 +1,104 @@
+package order
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/numeric"
+)
+
+// TestOrderOptimalThreeInstances exercises the construction beyond
+// Example 5's two-entry domain: RG1 (symmetric range) over {0,1,2}³.
+func TestOrderOptimalThreeInstances(t *testing.T) {
+	s, err := NewScheme([]float64{1, 2}, []float64{0.3, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v []float64) float64 {
+		mn, mx := v[0], v[0]
+		for _, x := range v[1:] {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		return mx - mn
+	}
+	dom := GridDomain(s, 3) // 27 vectors
+	for _, less := range []func(a, b []float64) bool{LessByF(f), LessByFDesc(f)} {
+		e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: less})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range dom {
+			if got, want := e.Mean(v), f(v); !numeric.EqualWithin(got, want, 1e-9) {
+				t.Errorf("E[f̂|%v] = %g, want %g", v, got, want)
+			}
+			for _, u := range []float64{0.1, 0.5, 0.9} {
+				if est := e.Estimate(v, u); est < 0 {
+					t.Errorf("negative estimate %g on %v at %g", est, v, u)
+				}
+			}
+		}
+	}
+}
+
+// TestOrderOptimalRandomRestrictedDomains: the construction must stay
+// unbiased on arbitrary sub-domains (the data vector itself is always
+// consistent, so outcomes never empty out).
+func TestOrderOptimalRandomRestrictedDomains(t *testing.T) {
+	s, err := NewScheme([]float64{1, 2, 3}, []float64{0.2, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v []float64) float64 { return math.Max(0, v[0]-v[1]) }
+	full := GridDomain(s, 2)
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var dom [][]float64
+		for _, v := range full {
+			if rng.Float64() < 0.6 {
+				dom = append(dom, v)
+			}
+		}
+		if len(dom) == 0 {
+			continue
+		}
+		e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: LessByF(f)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range dom {
+			if got, want := e.Mean(v), f(v); !numeric.EqualWithin(got, want, 1e-9) {
+				t.Errorf("trial %d: E[f̂|%v] = %g, want %g", trial, v, got, want)
+			}
+		}
+	}
+}
+
+// TestRestrictedDomainChangesEstimates: shrinking the domain adds
+// information (fewer consistent vectors), so estimates may differ from the
+// full-domain ones — and e.g. a domain without f = 0 vectors need not
+// assign 0 to "nothing sampled" outcomes.
+func TestRestrictedDomainChangesEstimates(t *testing.T) {
+	s, err := NewScheme([]float64{1, 2}, []float64{0.4, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v []float64) float64 { return math.Max(0, v[0]-v[1]) }
+	// Only difference-positive vectors: every outcome implies f ≥ 1 is
+	// possible... in fact f ∈ {1, 2} throughout, so even the all-unknown
+	// outcome carries mass.
+	dom := [][]float64{{1, 0}, {2, 0}, {2, 1}}
+	e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: LessByF(f)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := e.Estimate([]float64{2, 0}, 0.95); est <= 0 {
+		t.Errorf("all-unknown estimate = %g, want positive (domain minimum f = 1)", est)
+	}
+	for _, v := range dom {
+		if got, want := e.Mean(v), f(v); !numeric.EqualWithin(got, want, 1e-9) {
+			t.Errorf("E[f̂|%v] = %g, want %g", v, got, want)
+		}
+	}
+}

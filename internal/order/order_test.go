@@ -1,0 +1,331 @@
+package order
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hull"
+	"repro/internal/numeric"
+)
+
+// example5 builds the Example 5 setting: V = {0,1,2,3}², RG1+, thresholds
+// π1 < π2 < π3.
+func example5(t *testing.T) (Scheme, func([]float64) float64, [][]float64) {
+	t.Helper()
+	s, err := NewScheme([]float64{1, 2, 3}, []float64{0.2, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v []float64) float64 { return math.Max(0, v[0]-v[1]) }
+	return s, f, GridDomain(s, 2)
+}
+
+// diff2Less is Example 5's custom order: difference-2 vectors first, i.e.
+// (3,1) ≺ (3,2) ≺ (3,0) and (2,0) ≺ (2,1). Vectors with f = 0 come last.
+func diff2Less(a, b []float64) bool {
+	key := func(v []float64) [2]float64 {
+		d := v[0] - v[1]
+		if d <= 0 {
+			return [2]float64{math.Inf(1), 0}
+		}
+		return [2]float64{math.Abs(d - 2), d}
+	}
+	ka, kb := key(a), key(b)
+	if ka[0] != kb[0] {
+		return ka[0] < kb[0]
+	}
+	return ka[1] < kb[1]
+}
+
+func TestSchemeValidation(t *testing.T) {
+	if _, err := NewScheme(nil, nil); err == nil {
+		t.Error("empty ladder should fail")
+	}
+	if _, err := NewScheme([]float64{1, 1}, []float64{0.1, 0.2}); err == nil {
+		t.Error("non-increasing values should fail")
+	}
+	if _, err := NewScheme([]float64{1, 2}, []float64{0.5, 0.2}); err == nil {
+		t.Error("non-increasing probabilities should fail")
+	}
+	if _, err := NewScheme([]float64{1}, []float64{1.5}); err == nil {
+		t.Error("probability above 1 should fail")
+	}
+}
+
+func TestGridDomainSize(t *testing.T) {
+	s, _, dom := example5(t)
+	if len(dom) != 16 {
+		t.Fatalf("domain size %d, want 16", len(dom))
+	}
+	if got := len(GridDomain(s, 3)); got != 64 {
+		t.Fatalf("3-ary domain size %d, want 64", got)
+	}
+}
+
+func TestLowerBoundTableExample5(t *testing.T) {
+	// The paper's lower-bound table: RG1+^(v)(u) per interval for all v
+	// with positive f.
+	s, f, dom := example5(t)
+	e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: LessByF(f)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: intervals (0,π1], (π1,π2], (π2,π3]; columns as in the paper.
+	want := map[[2]float64][3]float64{
+		{1, 0}: {1, 0, 0},
+		{2, 1}: {1, 1, 0},
+		{2, 0}: {2, 1, 0},
+		{3, 2}: {1, 1, 1},
+		{3, 1}: {2, 2, 1},
+		{3, 0}: {3, 2, 1},
+	}
+	intervals := [][2]float64{{0, 0.2}, {0.2, 0.5}, {0.5, 0.9}}
+	for v, rows := range want {
+		for i, iv := range intervals {
+			got := e.lowerBound([]float64{v[0], v[1]}, iv[0], iv[1])
+			if got != rows[i] {
+				t.Errorf("LB_(%g,%g) on (%g,%g] = %g, want %g", v[0], v[1], iv[0], iv[1], got, rows[i])
+			}
+		}
+	}
+}
+
+func TestOrderOptimalUnbiasedAllOrders(t *testing.T) {
+	s, f, dom := example5(t)
+	orders := map[string]func(a, b []float64) bool{
+		"LStar(f asc)":  LessByF(f),
+		"UStar(f desc)": LessByFDesc(f),
+		"diff2 first":   diff2Less,
+	}
+	for name, less := range orders {
+		e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: less})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range dom {
+			if got, want := e.Mean(v), f(v); !numeric.EqualWithin(got, want, 1e-9) {
+				t.Errorf("%s: E[f̂|%v] = %g, want %g", name, v, got, want)
+			}
+		}
+	}
+}
+
+func TestOrderOptimalNonnegative(t *testing.T) {
+	s, f, dom := example5(t)
+	e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: diff2Less})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dom {
+		for _, u := range []float64{0.1, 0.3, 0.7, 0.95} {
+			if est := e.Estimate(v, u); est < 0 {
+				t.Errorf("negative estimate %g on v=%v u=%g", est, v, u)
+			}
+		}
+	}
+}
+
+func TestLStarOrderMatchesStepFormula(t *testing.T) {
+	// Theorem 4.3: the ≺+-optimal estimator for "smaller f first" is L*,
+	// whose discrete form is base + Σ_{jumps b ≥ ρ} Δ/b.
+	s, f, dom := example5(t)
+	e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: LessByF(f)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := s.Boundaries()
+	for _, v := range dom {
+		// Assemble the exact step lower bound of v.
+		var steps []core.Step
+		prev := 0.0
+		for i := len(bounds) - 1; i >= 1; i-- {
+			lo, hi := bounds[i-1], bounds[i]
+			lb := e.lowerBound(v, lo, hi)
+			if lb > prev {
+				steps = append(steps, core.Step{At: hi, Delta: lb - prev})
+				prev = lb
+			}
+		}
+		for _, u := range []float64{0.1, 0.3, 0.6, 0.95} {
+			want := core.LStarStep(0, steps, u)
+			got := e.Estimate(v, u)
+			if !numeric.EqualWithin(got, want, 1e-9) {
+				t.Errorf("v=%v u=%g: order-optimal %g, L* step formula %g", v, u, got, want)
+			}
+		}
+	}
+}
+
+// optimalSquare computes the v-optimal E[f̂²] for a vector via the greatest
+// convex minorant of its discrete lower-bound function.
+func optimalSquare(t *testing.T, e *Estimator, v []float64, f func([]float64) float64) float64 {
+	t.Helper()
+	bounds := e.p.Scheme.Boundaries()
+	pts := []hull.Point{{X: 0, Y: f(v)}}
+	for i := 1; i < len(bounds); i++ {
+		pts = append(pts, hull.Point{X: bounds[i-1], Y: e.lowerBound(v, bounds[i-1], bounds[i])})
+	}
+	pts = append(pts, hull.Point{X: 1, Y: e.lowerBound(v, bounds[len(bounds)-2], 1)})
+	h, err := hull.Lower(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h.IntegralSquaredSlope(0, 1)
+}
+
+func TestVOptimalityPerOrderExample5(t *testing.T) {
+	// The paper: the f-ascending order is v-optimal for (1,0), (2,1), (3,2);
+	// the f-descending order for (1,0), (2,0), (3,0); the custom order for
+	// (1,0), (2,0), (3,1).
+	s, f, dom := example5(t)
+	cases := []struct {
+		name    string
+		less    func(a, b []float64) bool
+		optimal [][]float64
+	}{
+		{"LStar", LessByF(f), [][]float64{{1, 0}, {2, 1}, {3, 2}}},
+		{"UStar", LessByFDesc(f), [][]float64{{1, 0}, {2, 0}, {3, 0}}},
+		{"diff2", diff2Less, [][]float64{{1, 0}, {2, 0}, {3, 1}}},
+	}
+	for _, tc := range cases {
+		e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: tc.less})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range tc.optimal {
+			got := e.Square(v)
+			want := optimalSquare(t, e, v, f)
+			if !numeric.EqualWithin(got, want, 1e-9) {
+				t.Errorf("%s: E[f̂²|%v] = %g, v-optimal = %g", tc.name, v, got, want)
+			}
+		}
+	}
+}
+
+func TestExample5DisplayedFormulas(t *testing.T) {
+	// The two walkthrough formulas that pin single-interval outcomes:
+	//   f̂(2,1)  = (1 − (π2−π1)·f̂(2,≤1)) / π1            on (0,π1]
+	//   f̂(3,≤0) = (3 − (π3−π2)·f̂(3,≤2) − (π2−π1)·f̂(3,≤1)) / π1
+	// (The paper's third display anchors f̂(3,2) at π1, but outcome (3,2)
+	// spans (0, π2] and Theorem 2.1's extension spreads the remaining mass
+	// evenly over it; see EXPERIMENTS.md for the discrepancy note.)
+	s, f, dom := example5(t)
+	pi1, pi2, pi3 := 0.2, 0.5, 0.9
+	e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: diff2Less})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est2le1 := e.Estimate([]float64{2, 0}, 0.3) // outcome (2,≤1) on (π1,π2]
+	est21 := e.Estimate([]float64{2, 1}, 0.1)   // outcome (2,1) on (0,π1]
+	if want := (1 - (pi2-pi1)*est2le1) / pi1; !numeric.EqualWithin(est21, want, 1e-9) {
+		t.Errorf("f̂(2,1) = %g, want %g", est21, want)
+	}
+	est3le2 := e.Estimate([]float64{3, 0}, 0.7) // outcome (3,≤2) on (π2,π3]
+	est3le1 := e.Estimate([]float64{3, 0}, 0.3) // outcome (3,≤1) on (π1,π2]
+	est30 := e.Estimate([]float64{3, 0}, 0.1)   // outcome (3,≤0) on (0,π1]
+	if want := (3 - (pi3-pi2)*est3le2 - (pi2-pi1)*est3le1) / pi1; !numeric.EqualWithin(est30, want, 1e-9) {
+		t.Errorf("f̂(3,0) = %g, want %g", est30, want)
+	}
+	// The v-optimal-table values for the (3,1)-representative outcomes:
+	// est(3,≤2) = min{2/π3, 1/(π3−π2)}.
+	if want := math.Min(2/pi3, 1/(pi3-pi2)); !numeric.EqualWithin(est3le2, want, 1e-9) {
+		t.Errorf("f̂(3,≤2) = %g, want %g", est3le2, want)
+	}
+	// est(2,≤1) under diff2 order is the (2,0)-optimal min{2/π2, 1/(π2−π1)}.
+	if want := math.Min(2/pi2, 1/(pi2-pi1)); !numeric.EqualWithin(est2le1, want, 1e-9) {
+		t.Errorf("f̂(2,≤1) = %g, want %g", est2le1, want)
+	}
+}
+
+func TestExample5Vector32Extension(t *testing.T) {
+	// Outcome (3,2) spans (π1,π2] and (0,π1]; the Theorem 2.1 extension
+	// from anchor (π2, M) is the chord of the convex minorant — constant —
+	// so both intervals carry (f(3,2) − M)/π2 = (1 − M)/π2 where
+	// M = (π3−π2)·f̂(3,≤2). (The paper's walkthrough displays
+	// "(2 − (π3−π2)f̂(3,≤2))/π1" for this outcome, which cannot satisfy
+	// unbiasedness for (3,2) with f(3,2)=1; see EXPERIMENTS.md.)
+	s, f, dom := example5(t)
+	pi2, pi3 := 0.5, 0.9
+	e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: diff2Less})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := (pi3 - pi2) * e.Estimate([]float64{3, 2}, 0.7)
+	want := (1 - m) / pi2
+	for _, u := range []float64{0.1, 0.3} {
+		if got := e.Estimate([]float64{3, 2}, u); !numeric.EqualWithin(got, want, 1e-9) {
+			t.Errorf("f̂(3,2) at u=%g = %g, want %g", u, got, want)
+		}
+	}
+}
+
+func TestUStarOrderBoundedEstimates(t *testing.T) {
+	// The f-descending order should produce the U*-style estimator; its
+	// largest estimate is pinned by the most-informative outcomes rather
+	// than small inclusion probabilities, hence bounded by f_max/π1.
+	s, f, dom := example5(t)
+	e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: LessByFDesc(f)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dom {
+		for _, u := range []float64{0.1, 0.3, 0.7, 0.95} {
+			if est := e.Estimate(v, u); est > 3/0.2+1e-9 {
+				t.Errorf("estimate %g on v=%v u=%g exceeds f_max/π1", est, v, u)
+			}
+		}
+	}
+}
+
+func TestEstimatesZeroOnZeroConsistentOutcomes(t *testing.T) {
+	// Any outcome consistent with an f=0 vector forces estimate 0
+	// (unbiasedness + nonnegativity), for every order.
+	s, f, dom := example5(t)
+	for _, less := range []func(a, b []float64) bool{LessByF(f), LessByFDesc(f), diff2Less} {
+		e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: less})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// u > π2: nothing about v=(2,0) is known, outcome consistent with 0.
+		if est := e.Estimate([]float64{2, 0}, 0.7); est != 0 {
+			t.Errorf("estimate %g on zero-consistent outcome, want 0", est)
+		}
+		// v=(2,2): f = 0 everywhere on its chain.
+		for _, u := range []float64{0.1, 0.4, 0.8} {
+			if est := e.Estimate([]float64{2, 2}, u); est != 0 {
+				t.Errorf("estimate %g on v=(2,2) u=%g, want 0", est, u)
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s, f, dom := example5(t)
+	if _, err := New(Problem{Scheme: s, F: f, Domain: nil, Less: diff2Less}); err == nil {
+		t.Error("empty domain should fail")
+	}
+	bad := append([][]float64{}, dom...)
+	bad = append(bad, []float64{1, 7}) // 7 not on ladder
+	if _, err := New(Problem{Scheme: s, F: f, Domain: bad, Less: diff2Less}); err == nil {
+		t.Error("off-ladder value should fail")
+	}
+	ragged := [][]float64{{1, 2}, {1}}
+	if _, err := New(Problem{Scheme: s, F: f, Domain: ragged, Less: diff2Less}); err == nil {
+		t.Error("ragged domain should fail")
+	}
+}
+
+func TestEstimatePanicsOutsideDomain(t *testing.T) {
+	s, f, dom := example5(t)
+	e, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: diff2Less})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for seed 0")
+		}
+	}()
+	e.Estimate([]float64{1, 0}, 0)
+}

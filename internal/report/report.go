@@ -1,0 +1,141 @@
+// Package report renders the experiment harness's tables and figure series
+// as aligned text and CSV — the formats cmd/mesrun and cmd/mesfig emit.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells with optional footnotes.
+type Table struct {
+	// ID is the experiment identifier (e.g. "F3", "LP").
+	ID string
+	// Title describes the table.
+	Title string
+	// Cols holds the column headers.
+	Cols []string
+	// Rows holds the cells (each row sized like Cols).
+	Rows [][]string
+	// Notes are rendered underneath.
+	Notes []string
+}
+
+// AddRow appends a row; the cell count must match the headers.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Cols) {
+		panic(fmt.Sprintf("report: row has %d cells, want %d", len(cells), len(t.Cols)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes an aligned plain-text rendering.
+func (t Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Cols)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table as headers + rows.
+func (t Table) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Cols); err != nil {
+		return fmt.Errorf("report: writing CSV header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// Series is a named sequence of (x, y) points — one plotted curve of a
+// figure.
+type Series struct {
+	// Name labels the curve (e.g. "v1=0.6 v2=0.2 LB").
+	Name string
+	// X and Y are the coordinates (equal length).
+	X, Y []float64
+}
+
+// Figure is a set of curves sharing axes — one panel of a paper figure.
+type Figure struct {
+	// ID is the experiment identifier (e.g. "F3-p0.5").
+	ID string
+	// Title describes the panel.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Curves holds the series.
+	Curves []Series
+}
+
+// CSV writes the figure in long form: series,x,y.
+func (f Figure) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", f.XLabel, f.YLabel}); err != nil {
+		return fmt.Errorf("report: writing figure header: %w", err)
+	}
+	for _, s := range f.Curves {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has %d xs but %d ys", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			rec := []string{s.Name, fmt.Sprintf("%g", s.X[i]), fmt.Sprintf("%g", s.Y[i])}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("report: writing figure row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("report: flushing figure CSV: %w", err)
+	}
+	return nil
+}
+
+// Fmt formats a float compactly for table cells.
+func Fmt(x float64) string { return fmt.Sprintf("%.4g", x) }

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{ID: "T1", Title: "demo", Cols: []string{"a", "bbbb"}}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.Notes = append(tbl.Notes, "a note")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== T1: demo ==", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAddRowPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong cell count")
+		}
+	}()
+	tbl := Table{Cols: []string{"a", "b"}}
+	tbl.AddRow("only one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := Table{ID: "T", Title: "t", Cols: []string{"x", "y"}}
+	tbl.AddRow("1", "2")
+	var b strings.Builder
+	if err := tbl.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.String(), "x,y\n1,2\n"; got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	fig := Figure{
+		ID: "F", Title: "f", XLabel: "u", YLabel: "value",
+		Curves: []Series{{Name: "LB", X: []float64{0.1, 0.2}, Y: []float64{1, 2}}},
+	}
+	var b strings.Builder
+	if err := fig.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "series,u,value\nLB,0.1,1\nLB,0.2,2\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFigureCSVLengthMismatch(t *testing.T) {
+	fig := Figure{Curves: []Series{{Name: "bad", X: []float64{1}, Y: nil}}}
+	var b strings.Builder
+	if err := fig.CSV(&b); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestFmt(t *testing.T) {
+	if got := Fmt(0.123456); got != "0.1235" {
+		t.Errorf("Fmt = %q", got)
+	}
+}

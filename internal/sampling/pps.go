@@ -1,0 +1,133 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Item is a keyed weight in one instance.
+type Item struct {
+	Key    uint64
+	Weight float64
+}
+
+// PPS is Poisson probability-proportional-to-size sampling with threshold
+// Tau: an item with weight w is included with probability min(1, w/Tau).
+// Under coordination, inclusion is decided by the shared seed: include iff
+// u ≤ w/Tau, i.e. iff w ≥ u·Tau — the linear threshold functions
+// τ(u) = u·τ* of the paper.
+type PPS struct {
+	// Tau is the PPS threshold τ*; must be positive.
+	Tau float64
+	// Hash supplies the coordinated per-item seeds.
+	Hash SeedHash
+}
+
+// NewPPS returns a coordinated PPS sampler.
+func NewPPS(tau float64, hash SeedHash) (PPS, error) {
+	if tau <= 0 || math.IsNaN(tau) || math.IsInf(tau, 0) {
+		return PPS{}, fmt.Errorf("sampling: PPS threshold %g must be positive and finite", tau)
+	}
+	return PPS{Tau: tau, Hash: hash}, nil
+}
+
+// Prob returns the inclusion probability of weight w.
+func (p PPS) Prob(w float64) float64 {
+	if w <= 0 {
+		return 0
+	}
+	return math.Min(1, w/p.Tau)
+}
+
+// Includes reports whether an item with the given key and weight is sampled.
+func (p PPS) Includes(key uint64, w float64) bool {
+	return w > 0 && p.Hash.U(key) <= p.Prob(w)
+}
+
+// Sample returns the sampled subset of items, preserving input order.
+func (p PPS) Sample(items []Item) []Item {
+	out := make([]Item, 0, len(items))
+	for _, it := range items {
+		if p.Includes(it.Key, it.Weight) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// BottomK is bottom-k sampling: the k items with the smallest ranks are
+// kept. With coordinated seeds, bottom-k samples of near-identical
+// instances are near-identical (the LSH property the paper describes).
+type BottomK struct {
+	// K is the sample size; must be positive.
+	K int
+	// Kind selects the rank family.
+	Kind RankKind
+	// Hash supplies coordinated per-item seeds.
+	Hash SeedHash
+}
+
+// NewBottomK returns a coordinated bottom-k sampler.
+func NewBottomK(k int, kind RankKind, hash SeedHash) (BottomK, error) {
+	if k <= 0 {
+		return BottomK{}, fmt.Errorf("sampling: bottom-k size %d must be positive", k)
+	}
+	switch kind {
+	case RankPriority, RankExponential, RankUniform:
+	default:
+		return BottomK{}, fmt.Errorf("sampling: unknown rank kind %d", kind)
+	}
+	return BottomK{K: k, Kind: kind, Hash: hash}, nil
+}
+
+// Ranked pairs an item with its rank.
+type Ranked struct {
+	Item
+	Rank float64
+}
+
+// Sample returns the k lowest-ranked items (all items if fewer than k have
+// finite rank), sorted by increasing rank, together with the inclusion
+// threshold: the (k+1)-st smallest rank, or +Inf when fewer than k+1 items
+// have finite ranks. Conditioned on the other items' seeds, an item is
+// included iff its rank is below the threshold — which reduces bottom-k to
+// a per-item monotone scheme as in the paper's footnote 1.
+func (b BottomK) Sample(items []Item) (sample []Ranked, threshold float64) {
+	ranked := make([]Ranked, 0, len(items))
+	for _, it := range items {
+		r := Rank(b.Kind, b.Hash.U(it.Key), it.Weight)
+		if !math.IsInf(r, 1) {
+			ranked = append(ranked, Ranked{Item: it, Rank: r})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].Rank < ranked[j].Rank })
+	threshold = math.Inf(1)
+	if len(ranked) > b.K {
+		threshold = ranked[b.K].Rank
+		ranked = ranked[:b.K]
+	}
+	return ranked, threshold
+}
+
+// InclusionProb returns, for an item with weight w, the conditional
+// inclusion probability given the threshold t (the k-th order statistic of
+// the other items' ranks): P(rank(u,w) < t) over u ~ U(0,1].
+func (b BottomK) InclusionProb(w, t float64) float64 {
+	if w <= 0 || t <= 0 {
+		return 0
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	switch b.Kind {
+	case RankUniform:
+		return math.Min(1, t)
+	case RankPriority:
+		return math.Min(1, t*w)
+	case RankExponential:
+		return -math.Expm1(-t * w) // 1 - e^{-tw}
+	default:
+		panic("sampling: unknown rank kind")
+	}
+}

@@ -1,0 +1,57 @@
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Reservoir is classic streaming uniform sampling without replacement
+// (Vitter's Algorithm R): after observing n items, each is in the reservoir
+// with probability min(1, k/n). It is the stream-facing member of the
+// substrate; the coordinated analyses in this repository use PPS and
+// BottomK, but reservoir sampling is part of the paper's scheme inventory
+// (Section 1) and feeds the samplers' shared tests.
+type Reservoir struct {
+	k     int
+	n     int
+	items []Item
+	rng   *rand.Rand
+}
+
+// NewReservoir returns a reservoir of capacity k driven by the given
+// deterministic source seed.
+func NewReservoir(k int, seed int64) (*Reservoir, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("sampling: reservoir size %d must be positive", k)
+	}
+	return &Reservoir{
+		k:     k,
+		items: make([]Item, 0, k),
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Observe offers one stream item to the reservoir.
+func (r *Reservoir) Observe(it Item) {
+	r.n++
+	if len(r.items) < r.k {
+		r.items = append(r.items, it)
+		return
+	}
+	if j := r.rng.Intn(r.n); j < r.k {
+		r.items[j] = it
+	}
+}
+
+// Len returns the number of items currently held.
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// N returns the number of items observed so far.
+func (r *Reservoir) N() int { return r.n }
+
+// Items returns a copy of the current reservoir contents.
+func (r *Reservoir) Items() []Item {
+	out := make([]Item, len(r.items))
+	copy(out, r.items)
+	return out
+}

@@ -1,0 +1,87 @@
+package sampling
+
+import "math"
+
+// SeedHash derives the shared uniform seed of an item from its key and a
+// scheme-level salt, using a splitmix64-style finalizer. Coordination
+// ("permanent random numbers") falls out of determinism: every instance
+// sampled with the same salt sees the same seed for the same item.
+type SeedHash struct {
+	salt uint64
+}
+
+// NewSeedHash returns a hasher with the given salt. Distinct salts give
+// independent-looking seed assignments (used for independent replications).
+func NewSeedHash(salt uint64) SeedHash {
+	return SeedHash{salt: splitmix64(salt ^ 0x9e3779b97f4a7c15)}
+}
+
+// U returns the item's seed in the open interval (0, 1]. The zero value is
+// excluded so that seeds are valid for the monotone sampling domain (0, 1].
+func (h SeedHash) U(key uint64) float64 {
+	x := splitmix64(key ^ h.salt)
+	// 53 random bits → (0,1]: (x>>11 + 1) / 2^53.
+	return float64(x>>11+1) / (1 << 53)
+}
+
+// UString returns the seed of a string key.
+func (h SeedHash) UString(key string) float64 {
+	return h.U(fnv64(key))
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Rank families convert the uniform seed and an item weight into a sampling
+// rank; bottom-k keeps the k smallest ranks. They match the single-instance
+// schemes cited in the paper's Section 1.
+type RankKind int
+
+const (
+	// RankPriority is u/w: priority (sequential Poisson) sampling.
+	RankPriority RankKind = iota + 1
+	// RankExponential is -ln(u)/w: successive weighted sampling without
+	// replacement.
+	RankExponential
+	// RankUniform is u itself: uniform sampling / distinct sketches.
+	RankUniform
+)
+
+// Rank computes the rank of an item with weight w and seed u under the
+// chosen family. Weights must be positive for the weighted families; a
+// non-positive weight yields +Inf (never sampled).
+func Rank(kind RankKind, u, w float64) float64 {
+	switch kind {
+	case RankUniform:
+		return u
+	case RankPriority:
+		if w <= 0 {
+			return math.Inf(1)
+		}
+		return u / w
+	case RankExponential:
+		if w <= 0 {
+			return math.Inf(1)
+		}
+		return -math.Log(u) / w
+	default:
+		panic("sampling: unknown rank kind")
+	}
+}

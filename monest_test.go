@@ -1,0 +1,95 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+// The facade exposes the full estimation round trip: these tests exercise
+// the public API end to end (internal packages have the deep coverage).
+
+func TestFacadeEstimationRoundTrip(t *testing.T) {
+	scheme := repro.UniformTuple(2)
+	f, err := repro.NewRG(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{0.6, 0.2}
+	o := scheme.Sample(v, 0.35)
+	l := repro.EstimateLStar(f, o)
+	u := repro.EstimateUStar(f, o, repro.Grid{})
+	h := repro.EstimateHT(f, o)
+	if l <= 0 {
+		t.Errorf("L* estimate = %g, want positive on a partially revealing outcome", l)
+	}
+	if math.Abs(u-1) > 0.05 {
+		t.Errorf("U* estimate = %g, want ≈ 1 (Example 4 closed form)", u)
+	}
+	if h != 0 {
+		t.Errorf("HT estimate = %g, want 0 (outcome does not reveal f)", h)
+	}
+}
+
+func TestFacadeDatasetFlow(t *testing.T) {
+	data, err := repro.NewDataset(nil, [][]float64{{1, 0.5, 0.2}, {0.9, 0.6, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := repro.NewRGPlus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := repro.SampleCoordinated(data, nil, repro.UniformTuple(2), repro.NewSeedHash(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []repro.EstimatorKind{repro.KindLStar, repro.KindUStar, repro.KindHT} {
+		est, err := cs.EstimateSum(f, kind, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if est < 0 || math.IsNaN(est) {
+			t.Errorf("%v: estimate %g invalid", kind, est)
+		}
+	}
+}
+
+func TestFacadeSimilarityFlow(t *testing.T) {
+	g, err := repro.PreferentialAttachment(60, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := repro.BuildSketches(g, 8, repro.NewSeedHash(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := repro.ExactSimilarity(g, 1, 2, repro.AlphaInverse)
+	est := repro.EstimateSimilarity(sk[1], sk[2], repro.AlphaInverse)
+	if exact <= 0 || exact > 1 {
+		t.Fatalf("exact similarity %g outside (0,1]", exact)
+	}
+	if est <= 0 || math.IsNaN(est) {
+		t.Errorf("estimate %g invalid", est)
+	}
+}
+
+func TestFacadeOrderOptimal(t *testing.T) {
+	scheme, err := repro.NewOrderScheme([]float64{1, 2}, []float64{0.3, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v []float64) float64 { return math.Max(0, v[0]-v[1]) }
+	est, err := repro.NewOrderEstimator(repro.OrderProblem{
+		Scheme: scheme, F: f, Domain: repro.GridDomain(scheme, 2), Less: repro.LessByF(f),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range [][]float64{{2, 1}, {1, 0}, {2, 0}} {
+		if got, want := est.Mean(v), f(v); math.Abs(got-want) > 1e-9 {
+			t.Errorf("E[f̂|%v] = %g, want %g", v, got, want)
+		}
+	}
+}
