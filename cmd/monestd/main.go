@@ -1,0 +1,97 @@
+// Command monestd serves monotone-sampling estimates from live streaming
+// sketches: a daemon wrapping internal/engine (sharded coordinated
+// bottom-k store) with the internal/server JSON API.
+//
+// Usage:
+//
+//	monestd [-addr :8080] [-instances 2] [-k 64] [-shards 16] [-salt 1]
+//
+// Example session:
+//
+//	monestd -addr :8080 -instances 2 -k 256 &
+//	curl -X POST localhost:8080/v1/ingest -d \
+//	  '{"updates":[{"instance":0,"key":"alpha","weight":0.9}]}'
+//	curl 'localhost:8080/v1/estimate/sum?func=rg&p=1&estimator=lstar'
+//	curl localhost:8080/v1/estimate/jaccard
+//	curl localhost:8080/v1/stats
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sampling"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	instances := flag.Int("instances", 2, "number of coordinated instances")
+	k := flag.Int("k", 64, "bottom-k sketch size per instance")
+	shards := flag.Int("shards", 16, "lock-striped shard count")
+	salt := flag.Uint64("salt", 1, "seed-hash salt (writers sharing it stay coordinated)")
+	flag.Parse()
+
+	if err := run(*addr, *instances, *k, *shards, *salt); err != nil {
+		fmt.Fprintln(os.Stderr, "monestd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, instances, k, shards int, salt uint64) error {
+	eng, err := engine.New(engine.Config{
+		Instances: instances,
+		K:         k,
+		Shards:    shards,
+		Hash:      sampling.NewSeedHash(salt),
+	})
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "monestd: ", log.LstdFlags)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (instances=%d k=%d shards=%d salt=%d)",
+			addr, instances, k, shards, salt)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := eng.Stats()
+	logger.Printf("stopped: %d keys, %d ingests served", st.Keys, st.Ingests)
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves a loopback port for the daemon under test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestRunServesAndShutsDownGracefully(t *testing.T) {
+	addr := freeAddr(t)
+	done := make(chan error, 1)
+	go func() { done <- run(addr, 2, 8, 4, 1) }()
+
+	// Wait for the listener, then exercise one ingest + one estimate.
+	url := "http://" + addr
+	var resp *http.Response
+	var err error
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(url + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("daemon never came up: %v", err)
+	}
+	resp.Body.Close()
+
+	body := `{"updates":[{"instance":0,"key":"alpha","weight":0.9},{"instance":1,"key":"alpha","weight":0.5}]}`
+	resp, err = http.Post(url+"/v1/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(url + "/v1/estimate/sum?func=max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&est); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := est["estimate"].(float64); !ok {
+		t.Fatalf("estimate body %v", est)
+	}
+
+	// SIGTERM must drain and exit cleanly.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run("127.0.0.1:0", 0, 8, 4, 1); err == nil {
+		t.Error("zero instances should fail")
+	}
+	if err := run("127.0.0.1:0", 2, 0, 4, 1); err == nil {
+		t.Error("zero k should fail")
+	}
+}
+
+func TestRunRejectsBusyAddress(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := run(l.Addr().String(), 2, 8, 4, 1); err == nil {
+		t.Error("busy address should fail")
+	}
+}

@@ -2,8 +2,6 @@ package dataset
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/sampling"
 )
@@ -15,7 +13,9 @@ import (
 // its rank is below t_ik, the k-th smallest rank among the other items —
 // equivalently iff w_ik ≥ u_k/t_ik, a linear threshold τ*_ik = 1/t_ik.
 // Each item therefore gets its own TupleScheme; the estimators consume the
-// outcomes exactly as with PPS.
+// outcomes exactly as with PPS. The reduction itself (sampling.KSmallest,
+// sampling.CondThreshold, sampling.TauFromThreshold) is shared with the
+// streaming engine, which must reproduce these outcomes bit-for-bit.
 func SampleBottomK(d Dataset, k int, hash sampling.SeedHash) (CoordinatedSample, error) {
 	if k <= 0 {
 		return CoordinatedSample{}, fmt.Errorf("dataset: bottom-k size %d must be positive", k)
@@ -34,40 +34,17 @@ func SampleBottomK(d Dataset, k int, hash sampling.SeedHash) (CoordinatedSample,
 		for key := 0; key < n; key++ {
 			ranks[key] = sampling.Rank(sampling.RankPriority, seeds[key], d.W[i][key])
 		}
-		smallest := kSmallest(ranks, k+1)
+		smallest := sampling.KSmallest(ranks, k+1)
 		thresholds[i] = make([]float64, n)
 		for key := 0; key < n; key++ {
-			t := math.Inf(1)
-			switch {
-			case len(smallest) > k:
-				// k-th among others: skip over the item itself when it is
-				// one of the k smallest.
-				if ranks[key] <= smallest[k-1] {
-					t = smallest[k]
-				} else {
-					t = smallest[k-1]
-				}
-			case len(smallest) == k:
-				if ranks[key] <= smallest[k-1] {
-					t = math.Inf(1) // fewer than k others: always included
-				} else {
-					t = smallest[k-1]
-				}
-			}
-			thresholds[i][key] = t
+			thresholds[i][key] = sampling.CondThreshold(smallest, k, ranks[key])
 		}
 	}
 	cs := CoordinatedSample{Outcomes: make([]sampling.TupleOutcome, n)}
 	for key := 0; key < n; key++ {
 		tau := make([]float64, r)
 		for i := 0; i < r; i++ {
-			t := thresholds[i][key]
-			if math.IsInf(t, 1) {
-				// Always included: an arbitrarily permissive threshold.
-				tau[i] = 1e-12
-			} else {
-				tau[i] = 1 / t
-			}
+			tau[i] = sampling.TauFromThreshold(thresholds[i][key])
 		}
 		scheme, err := sampling.NewTupleScheme(tau)
 		if err != nil {
@@ -83,20 +60,4 @@ func SampleBottomK(d Dataset, k int, hash sampling.SeedHash) (CoordinatedSample,
 		}
 	}
 	return cs, nil
-}
-
-// kSmallest returns the min(k, len) smallest finite values of xs, sorted
-// ascending.
-func kSmallest(xs []float64, k int) []float64 {
-	finite := make([]float64, 0, len(xs))
-	for _, x := range xs {
-		if !math.IsInf(x, 1) {
-			finite = append(finite, x)
-		}
-	}
-	sort.Float64s(finite)
-	if len(finite) > k {
-		finite = finite[:k]
-	}
-	return finite
 }

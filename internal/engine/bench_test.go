@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/funcs"
+	"repro/internal/sampling"
+)
+
+// benchUpdates precomputes a deterministic heavy-tailed update stream so
+// the benchmarks measure the engine, not the generator.
+func benchUpdates(n int) []Update {
+	d := dataset.Flows(dataset.FlowsConfig{N: n, Seed: 1})
+	updates := make([]Update, 0, 2*n)
+	for i := 0; i < d.R(); i++ {
+		for k := 0; k < d.N(); k++ {
+			if d.W[i][k] > 0 {
+				updates = append(updates, Update{Instance: i, Key: uint64(k), Weight: d.W[i][k]})
+			}
+		}
+	}
+	return updates
+}
+
+func newBenchEngine(b *testing.B, k int) *Engine {
+	b.Helper()
+	e, err := New(Config{Instances: 2, K: k, Shards: 16, Hash: sampling.NewSeedHash(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkIngest measures single-update throughput on one goroutine.
+func BenchmarkIngest(b *testing.B) {
+	updates := benchUpdates(1 << 16)
+	e := newBenchEngine(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := updates[i%len(updates)]
+		if err := e.Ingest(u.Instance, u.Key, u.Weight); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestParallel measures lock-striped throughput under parallel
+// writers (the server's ingest path).
+func BenchmarkIngestParallel(b *testing.B) {
+	updates := benchUpdates(1 << 16)
+	e := newBenchEngine(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			u := updates[i%len(updates)]
+			i++
+			if err := e.Ingest(u.Instance, u.Key, u.Weight); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIngestBatch measures the batched path (one lock per shard per
+// batch of 256).
+func BenchmarkIngestBatch(b *testing.B) {
+	updates := benchUpdates(1 << 16)
+	e := newBenchEngine(b, 64)
+	const batch = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * batch) % len(updates)
+		hi := lo + batch
+		if hi > len(updates) {
+			hi = len(updates)
+		}
+		if err := e.IngestBatch(updates[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch), "updates/op")
+}
+
+// BenchmarkSnapshot measures the sketch → outcomes reduction.
+func BenchmarkSnapshot(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("keys=%d", n), func(b *testing.B) {
+			e := newBenchEngine(b, 64)
+			if err := e.IngestBatch(benchUpdates(n)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = e.Snapshot()
+			}
+		})
+	}
+}
+
+// BenchmarkQuerySum measures end-to-end query latency: snapshot plus an
+// L* sum estimate, the hot path of GET /v1/estimate/sum.
+func BenchmarkQuerySum(b *testing.B) {
+	e := newBenchEngine(b, 64)
+	if err := e.IngestBatch(benchUpdates(1 << 14)); err != nil {
+		b.Fatal(err)
+	}
+	f, err := funcs.NewRG(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := e.Snapshot()
+		if _, err := snap.Sample.EstimateSum(f, dataset.KindLStar, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryJaccard measures snapshot plus the Jaccard ratio estimate.
+func BenchmarkQueryJaccard(b *testing.B) {
+	e := newBenchEngine(b, 64)
+	if err := e.IngestBatch(benchUpdates(1 << 14)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := e.Snapshot()
+		_ = funcs.JaccardEstimate(snap.Sample.Outcomes)
+	}
+}

@@ -1,0 +1,309 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Instances is the number of coordinated instances r. Required.
+	Instances int
+	// K is the per-instance bottom-k sketch size. Required.
+	K int
+	// Shards is the number of lock-striped shards. Default 16.
+	Shards int
+	// Hash derives the shared per-item seeds; pass the same hasher to
+	// dataset.SampleBottomK to reproduce a batch sample exactly.
+	Hash sampling.SeedHash
+}
+
+// Update is one weighted observation for batched ingest.
+type Update struct {
+	// Instance is the target instance in [0, Instances).
+	Instance int `json:"instance"`
+	// Key identifies the item (sampling.StringKey maps names here).
+	Key uint64 `json:"key"`
+	// Weight folds in under max semantics; zero is a no-op.
+	Weight float64 `json:"weight"`
+}
+
+// Engine is a sharded streaming store of coordinated bottom-k sketches.
+// Methods are safe for concurrent use.
+type Engine struct {
+	cfg       Config
+	maskWords int
+	shards    []*shard
+	ingests   atomic.Uint64
+}
+
+// New validates the configuration and returns an empty engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Instances < 1 {
+		return nil, fmt.Errorf("engine: instances %d must be positive", cfg.Instances)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("engine: bottom-k size %d must be positive", cfg.K)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("engine: shard count %d must be nonnegative", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 16
+	}
+	e := &Engine{
+		cfg:       cfg,
+		maskWords: (cfg.Instances + 63) / 64,
+		shards:    make([]*shard, cfg.Shards),
+	}
+	for s := range e.shards {
+		heaps := make([]bkHeap, cfg.Instances)
+		for i := range heaps {
+			// k+1 entries per instance: Snapshot needs the k+1 globally
+			// smallest ranks, and the union of shard heaps covers them.
+			heaps[i] = newBKHeap(cfg.K + 1)
+		}
+		e.shards[s] = &shard{items: make(map[uint64]*item), heaps: heaps}
+	}
+	return e, nil
+}
+
+// Config returns the engine's (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Ingest folds one observation into the sketches under max-weight
+// semantics. Negative, NaN or infinite weights are rejected; zero weights
+// are accepted no-ops (a zero entry is never sampled).
+func (e *Engine) Ingest(instance int, key uint64, weight float64) error {
+	if err := e.check(instance, weight); err != nil {
+		return err
+	}
+	if weight == 0 {
+		return nil
+	}
+	sh := e.shards[e.shardOf(key)]
+	sh.mu.Lock()
+	sh.ingest(e, instance, key, weight)
+	sh.mu.Unlock()
+	e.ingests.Add(1)
+	return nil
+}
+
+// IngestBatch folds a batch of observations, taking each shard lock at
+// most once. The batch is validated up front and applied atomically per
+// shard (not across shards).
+func (e *Engine) IngestBatch(updates []Update) error {
+	for j, u := range updates {
+		if err := e.check(u.Instance, u.Weight); err != nil {
+			return fmt.Errorf("engine: update %d: %w", j, err)
+		}
+	}
+	byShard := make(map[int][]Update, len(e.shards))
+	for _, u := range updates {
+		if u.Weight == 0 {
+			continue
+		}
+		s := e.shardOf(u.Key)
+		byShard[s] = append(byShard[s], u)
+	}
+	for s, batch := range byShard {
+		sh := e.shards[s]
+		sh.mu.Lock()
+		for _, u := range batch {
+			sh.ingest(e, u.Instance, u.Key, u.Weight)
+		}
+		sh.mu.Unlock()
+		e.ingests.Add(uint64(len(batch)))
+	}
+	return nil
+}
+
+func (e *Engine) check(instance int, weight float64) error {
+	if instance < 0 || instance >= e.cfg.Instances {
+		return fmt.Errorf("engine: instance %d outside [0, %d)", instance, e.cfg.Instances)
+	}
+	if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("engine: weight %g must be finite and nonnegative", weight)
+	}
+	return nil
+}
+
+// shardOf mixes the key (independently of the seed hash) and maps it to a
+// shard index.
+func (e *Engine) shardOf(key uint64) int {
+	x := key
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(len(e.shards)))
+}
+
+// Snapshot is a consistent cut of the engine reduced to per-item monotone
+// outcomes — the streaming equivalent of dataset.SampleBottomK's result.
+type Snapshot struct {
+	// Keys holds every ingested item key in ascending order, parallel to
+	// Sample.Outcomes.
+	Keys []uint64
+	// Sample carries the outcomes and the storage bookkeeping; every
+	// outcome estimator (L*, U*, HT, Jaccard) applies to it unmodified.
+	Sample dataset.CoordinatedSample
+}
+
+// Snapshot reduces the live sketches to per-item outcomes via the shared
+// conditional-threshold reduction (footnote 1). For any arrival order and
+// any max-dominated duplicates, the result is bit-identical to
+// dataset.SampleBottomK on the aggregated weight matrix — provided the
+// item keys are the matrix's column indices 0..n-1, since the batch
+// sampler seeds item k with hash.U(uint64(k)). Sparse or string-hashed
+// keys yield the same reduction over their own seed set. All shards are
+// locked for the duration, giving writers a brief pause but an exactly
+// consistent cut.
+func (e *Engine) Snapshot() Snapshot {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range e.shards {
+			sh.mu.Unlock()
+		}
+	}()
+
+	r, k := e.cfg.Instances, e.cfg.K
+	total := 0
+	for _, sh := range e.shards {
+		total += len(sh.items)
+	}
+	keys := make([]uint64, 0, total)
+	seeds := make(map[uint64]float64, total)
+	activeEntries := 0
+	for _, sh := range e.shards {
+		for key, it := range sh.items {
+			keys = append(keys, key)
+			seeds[key] = it.seed
+		}
+		activeEntries += sh.activeEntries
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Per instance: the k+1 smallest ranks over all shards, and the
+	// retained (rank, weight) of each sketched item.
+	smallest := make([][]float64, r)
+	retained := make([]map[uint64]bkEntry, r)
+	for i := 0; i < r; i++ {
+		var ranks []float64
+		retained[i] = make(map[uint64]bkEntry)
+		for _, sh := range e.shards {
+			for _, en := range sh.heaps[i].es {
+				ranks = append(ranks, en.rank)
+				retained[i][en.key] = en
+			}
+		}
+		smallest[i] = sampling.KSmallest(ranks, k+1)
+	}
+
+	snap := Snapshot{
+		Keys:   keys,
+		Sample: dataset.CoordinatedSample{Outcomes: make([]sampling.TupleOutcome, len(keys))},
+	}
+	snap.Sample.TotalEntries = activeEntries
+	tuple := make([]float64, r)
+	for j, key := range keys {
+		tau := make([]float64, r)
+		for i := 0; i < r; i++ {
+			rank := math.Inf(1)
+			tuple[i] = 0
+			if en, ok := retained[i][key]; ok {
+				rank = en.rank
+				tuple[i] = en.weight
+			}
+			tau[i] = sampling.TauFromThreshold(sampling.CondThreshold(smallest[i], k, rank))
+		}
+		scheme, err := sampling.NewTupleScheme(tau)
+		if err != nil {
+			// Unreachable: ranks are positive, so every tau is positive
+			// and finite.
+			panic(fmt.Sprintf("engine: item %d scheme: %v", key, err))
+		}
+		o := scheme.Sample(tuple, seeds[key])
+		snap.Sample.Outcomes[j] = o
+		snap.Sample.SampledEntries += o.NumKnown()
+	}
+	return snap
+}
+
+// Stats summarizes the engine's contents and traffic.
+type Stats struct {
+	// Instances, K and Shards echo the configuration.
+	Instances int `json:"instances"`
+	K         int `json:"k"`
+	Shards    int `json:"shards"`
+	// Keys counts distinct item keys ever ingested.
+	Keys int `json:"keys"`
+	// ActiveEntries counts distinct (instance, key) pairs with positive
+	// ingested weight — the batch sampler's TotalEntries.
+	ActiveEntries int `json:"active_entries"`
+	// RetainedEntries counts (instance, key) pairs currently held in
+	// sketch heaps — the sketch's actual storage.
+	RetainedEntries int `json:"retained_entries"`
+	// Ingests counts accepted non-zero ingest operations.
+	Ingests uint64 `json:"ingests"`
+}
+
+// Stats returns a point-in-time summary.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Instances: e.cfg.Instances,
+		K:         e.cfg.K,
+		Shards:    e.cfg.Shards,
+		Ingests:   e.ingests.Load(),
+	}
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		st.Keys += len(sh.items)
+		st.ActiveEntries += sh.activeEntries
+		for i := range sh.heaps {
+			st.RetainedEntries += len(sh.heaps[i].es)
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// shard is one lock stripe: the items routed to it and its slice of every
+// instance's bottom-(k+1) heap.
+type shard struct {
+	mu            sync.Mutex
+	items         map[uint64]*item
+	heaps         []bkHeap
+	activeEntries int
+}
+
+// item is the per-key registry entry: the hashed seed plus which instances
+// have seen a positive weight (for exact TotalEntries bookkeeping). It
+// costs O(1) words per key — the registry lets Snapshot emit outcomes for
+// unsketched items too, matching the batch sampler's full outcome list.
+type item struct {
+	seed float64
+	mask []uint64
+}
+
+func (sh *shard) ingest(e *Engine, instance int, key uint64, w float64) {
+	it, ok := sh.items[key]
+	if !ok {
+		it = &item{seed: e.cfg.Hash.U(key), mask: make([]uint64, e.maskWords)}
+		sh.items[key] = it
+	}
+	word, bit := instance/64, uint64(1)<<(instance%64)
+	if it.mask[word]&bit == 0 {
+		it.mask[word] |= bit
+		sh.activeEntries++
+	}
+	rank := sampling.Rank(sampling.RankPriority, it.seed, w)
+	sh.heaps[instance].update(key, w, rank)
+}

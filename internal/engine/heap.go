@@ -1,0 +1,87 @@
+package engine
+
+// bkHeap keeps the cap smallest-rank entries seen so far: a max-heap on
+// rank (root = largest retained rank, the eviction candidate) with a
+// position index so that a max-weight update can decrease an entry's rank
+// in place. A hand-rolled heap avoids container/heap's interface
+// allocations on the ingest hot path.
+type bkHeap struct {
+	cap int
+	es  []bkEntry
+	pos map[uint64]int
+}
+
+// bkEntry is one retained (key, weight, rank) triple.
+type bkEntry struct {
+	key    uint64
+	weight float64
+	rank   float64
+}
+
+func newBKHeap(cap int) bkHeap {
+	return bkHeap{cap: cap, pos: make(map[uint64]int, cap)}
+}
+
+// update folds an observation in under max-weight semantics: a retained
+// key keeps its largest weight (= smallest rank); a new key is admitted if
+// there is room or it outranks the current eviction candidate. Ranks only
+// decrease over an entry's lifetime, so eviction is permanent unless the
+// key itself later arrives with a larger weight.
+func (h *bkHeap) update(key uint64, w, rank float64) {
+	if i, ok := h.pos[key]; ok {
+		if w <= h.es[i].weight {
+			return
+		}
+		h.es[i].weight = w
+		h.es[i].rank = rank
+		h.down(i) // rank decreased: sink in the max-heap
+		return
+	}
+	if len(h.es) < h.cap {
+		h.es = append(h.es, bkEntry{key: key, weight: w, rank: rank})
+		h.pos[key] = len(h.es) - 1
+		h.up(len(h.es) - 1)
+		return
+	}
+	if rank >= h.es[0].rank {
+		return
+	}
+	delete(h.pos, h.es[0].key)
+	h.es[0] = bkEntry{key: key, weight: w, rank: rank}
+	h.pos[key] = 0
+	h.down(0)
+}
+
+func (h *bkHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.es[p].rank >= h.es[i].rank {
+			return
+		}
+		h.swap(p, i)
+		i = p
+	}
+}
+
+func (h *bkHeap) down(i int) {
+	for {
+		m := i
+		if l := 2*i + 1; l < len(h.es) && h.es[l].rank > h.es[m].rank {
+			m = l
+		}
+		if r := 2*i + 2; r < len(h.es) && h.es[r].rank > h.es[m].rank {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+func (h *bkHeap) swap(i, j int) {
+	h.es[i], h.es[j] = h.es[j], h.es[i]
+	h.pos[h.es[i].key] = i
+	h.pos[h.es[j].key] = j
+}

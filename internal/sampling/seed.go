@@ -29,6 +29,11 @@ func (h SeedHash) UString(key string) float64 {
 	return h.U(fnv64(key))
 }
 
+// StringKey maps a string key to the uint64 key space, such that
+// h.U(StringKey(s)) == h.UString(s) for every hasher h. The streaming
+// engine and its HTTP API use it to address items by name.
+func StringKey(s string) uint64 { return fnv64(s) }
+
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9

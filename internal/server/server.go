@@ -1,0 +1,277 @@
+// Package server exposes a streaming engine over a small JSON HTTP API —
+// the serving layer of the monestd daemon.
+//
+// Endpoints:
+//
+//	POST /v1/ingest           batch of {instance, key|id, weight} updates
+//	GET  /v1/estimate/sum     sum estimate: ?func=rg&p=1&estimator=lstar
+//	GET  /v1/estimate/jaccard Jaccard of the instances' positive supports
+//	GET  /v1/stats            engine contents + per-endpoint counters
+//	GET  /healthz             liveness probe
+//
+// Item functions: rg (param p), rgplus (p), max, or, and, lincomb (comma
+// list c plus p). Estimators: lstar (default), ustar, ht. String item keys
+// are hashed with sampling.StringKey, so external writers using the same
+// salt stay coordinated with the server's sketches.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/funcs"
+	"repro/internal/sampling"
+)
+
+// maxIngestBody caps ingest request bodies (16 MiB) against unbounded
+// memory use by a misbehaving client.
+const maxIngestBody = 16 << 20
+
+// Server routes the API onto one engine. Create with New; the zero value
+// is not usable.
+type Server struct {
+	eng     *engine.Engine
+	mux     *http.ServeMux
+	started time.Time
+	metrics map[string]*endpointMetrics
+}
+
+// endpointMetrics counts one endpoint's traffic. Fields are atomics so
+// handlers never contend.
+type endpointMetrics struct {
+	requests  atomic.Uint64
+	errors    atomic.Uint64
+	latencyNS atomic.Uint64
+}
+
+// EndpointStats is the JSON view of one endpoint's counters.
+type EndpointStats struct {
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+}
+
+// New returns a server wired to the engine.
+func New(eng *engine.Engine) *Server {
+	s := &Server{
+		eng:     eng,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		metrics: make(map[string]*endpointMetrics),
+	}
+	s.route("POST /v1/ingest", s.handleIngest)
+	s.route("GET /v1/estimate/sum", s.handleEstimateSum)
+	s.route("GET /v1/estimate/jaccard", s.handleEstimateJaccard)
+	s.route("GET /v1/stats", s.handleStats)
+	s.route("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// route registers an instrumented handler. Handlers return a status code
+// and either a JSON-marshalable body or an error.
+func (s *Server) route(pattern string, h func(*http.Request) (int, any, error)) {
+	m := &endpointMetrics{}
+	s.metrics[pattern] = m
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code, body, err := h(r)
+		m.requests.Add(1)
+		m.latencyNS.Add(uint64(time.Since(start).Nanoseconds()))
+		if err != nil {
+			m.errors.Add(1)
+			writeJSON(w, code, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, code, body)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body) // headers are out; nothing useful to do on error
+}
+
+// ingestRequest is the POST /v1/ingest body.
+type ingestRequest struct {
+	Updates []ingestUpdate `json:"updates"`
+}
+
+// ingestUpdate is one observation; a present Key (string, hashed with
+// sampling.StringKey, empty allowed) takes precedence over the raw ID.
+type ingestUpdate struct {
+	Instance int     `json:"instance"`
+	Key      *string `json:"key,omitempty"`
+	ID       uint64  `json:"id,omitempty"`
+	Weight   float64 `json:"weight"`
+}
+
+func (s *Server) handleIngest(r *http.Request) (int, any, error) {
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxIngestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return http.StatusBadRequest, nil, fmt.Errorf("decoding body: %w", err)
+	}
+	if len(req.Updates) == 0 {
+		return http.StatusBadRequest, nil, errors.New("empty update batch")
+	}
+	batch := make([]engine.Update, len(req.Updates))
+	ingested := 0
+	for i, u := range req.Updates {
+		key := u.ID
+		if u.Key != nil {
+			key = sampling.StringKey(*u.Key)
+		}
+		batch[i] = engine.Update{Instance: u.Instance, Key: key, Weight: u.Weight}
+		if u.Weight != 0 {
+			ingested++
+		}
+	}
+	if err := s.eng.IngestBatch(batch); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	// ingested counts folded-in observations, matching the engine's
+	// Ingests stat; zero weights are accepted no-ops reported as skipped.
+	return http.StatusOK, map[string]int{"ingested": ingested, "skipped": len(batch) - ingested}, nil
+}
+
+// parseF builds the item function named by the query (?func=, with ?p=
+// and ?c= parameters where applicable).
+func parseF(q map[string][]string) (funcs.F, error) {
+	get := func(name, def string) string {
+		if v, ok := q[name]; ok && len(v) > 0 && v[0] != "" {
+			return v[0]
+		}
+		return def
+	}
+	p, err := strconv.ParseFloat(get("p", "1"), 64)
+	if err != nil {
+		return nil, fmt.Errorf("parameter p: %w", err)
+	}
+	switch name := get("func", "rg"); name {
+	case "rg":
+		return funcs.NewRG(p)
+	case "rgplus":
+		return funcs.NewRGPlus(p)
+	case "max":
+		return funcs.MaxTuple{}, nil
+	case "or":
+		return funcs.OrTuple{}, nil
+	case "and":
+		return funcs.AndTuple{}, nil
+	case "lincomb":
+		raw := get("c", "")
+		if raw == "" {
+			return nil, errors.New("func lincomb needs ?c=c1,c2,...")
+		}
+		parts := strings.Split(raw, ",")
+		c := make([]float64, len(parts))
+		for i, part := range parts {
+			c[i], err = strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("parameter c[%d]: %w", i, err)
+			}
+		}
+		return funcs.NewLinComb(c, p)
+	default:
+		return nil, fmt.Errorf("unknown func %q (have rg, rgplus, max, or, and, lincomb)", name)
+	}
+}
+
+func parseEstimator(q map[string][]string) (dataset.EstimatorKind, error) {
+	name := "lstar"
+	if v, ok := q["estimator"]; ok && len(v) > 0 && v[0] != "" {
+		name = v[0]
+	}
+	switch name {
+	case "lstar":
+		return dataset.KindLStar, nil
+	case "ustar":
+		return dataset.KindUStar, nil
+	case "ht":
+		return dataset.KindHT, nil
+	default:
+		return 0, fmt.Errorf("unknown estimator %q (have lstar, ustar, ht)", name)
+	}
+}
+
+func (s *Server) handleEstimateSum(r *http.Request) (int, any, error) {
+	q := r.URL.Query()
+	f, err := parseF(q)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	kind, err := parseEstimator(q)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	if a := f.Arity(); a != 0 && a != s.eng.Config().Instances {
+		return http.StatusBadRequest, nil, fmt.Errorf("func %s needs %d instances, engine has %d", f.Name(), a, s.eng.Config().Instances)
+	}
+	snap := s.eng.Snapshot()
+	est, err := snap.Sample.EstimateSum(f, kind, nil)
+	if err != nil {
+		return http.StatusInternalServerError, nil, err
+	}
+	if math.IsInf(est, 0) || math.IsNaN(est) {
+		// JSON cannot carry Inf/NaN; without this guard the encoder
+		// fails after the 200 header is out and the body arrives empty.
+		return http.StatusInternalServerError, nil, fmt.Errorf("estimate %g is not finite (weights near the float range overflow the sum)", est)
+	}
+	return http.StatusOK, map[string]any{
+		"estimate":        est,
+		"estimator":       kind.String(),
+		"func":            f.Name(),
+		"keys":            len(snap.Keys),
+		"sampled_entries": snap.Sample.SampledEntries,
+		"total_entries":   snap.Sample.TotalEntries,
+	}, nil
+}
+
+func (s *Server) handleEstimateJaccard(r *http.Request) (int, any, error) {
+	snap := s.eng.Snapshot()
+	jac := funcs.JaccardEstimate(snap.Sample.Outcomes)
+	if math.IsInf(jac, 0) || math.IsNaN(jac) {
+		return http.StatusInternalServerError, nil, fmt.Errorf("jaccard estimate %g is not finite", jac)
+	}
+	return http.StatusOK, map[string]any{
+		"jaccard": jac,
+		"keys":    len(snap.Keys),
+	}, nil
+}
+
+func (s *Server) handleStats(r *http.Request) (int, any, error) {
+	endpoints := make(map[string]EndpointStats, len(s.metrics))
+	for pattern, m := range s.metrics {
+		n := m.requests.Load()
+		es := EndpointStats{Requests: n, Errors: m.errors.Load()}
+		if n > 0 {
+			es.AvgLatencyMS = float64(m.latencyNS.Load()) / float64(n) / 1e6
+		}
+		endpoints[pattern] = es
+	}
+	return http.StatusOK, map[string]any{
+		"engine":         s.eng.Stats(),
+		"endpoints":      endpoints,
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	}, nil
+}
+
+func (s *Server) handleHealthz(*http.Request) (int, any, error) {
+	return http.StatusOK, map[string]string{"status": "ok"}, nil
+}

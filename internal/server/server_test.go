@@ -1,0 +1,422 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/funcs"
+	"repro/internal/sampling"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, sampling.SeedHash) {
+	t.Helper()
+	hash := sampling.NewSeedHash(7)
+	eng, err := engine.New(engine.Config{Instances: 2, K: 8, Shards: 4, Hash: hash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+	return ts, hash
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeBody(t, resp)
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeBody(t, resp)
+}
+
+func decodeBody(t *testing.T, resp *http.Response) map[string]any {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("decoding %q: %v", raw, err)
+	}
+	return m
+}
+
+// ingestExample1 streams the paper's Example 1 first two instances via the
+// HTTP API, keyed by item id.
+func ingestExample1(t *testing.T, url string) dataset.Dataset {
+	t.Helper()
+	full := dataset.Example1()
+	d, err := dataset.New(nil, full.W[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updates []map[string]any
+	for i := 0; i < d.R(); i++ {
+		for k := 0; k < d.N(); k++ {
+			if d.W[i][k] > 0 {
+				updates = append(updates, map[string]any{"instance": i, "id": k, "weight": d.W[i][k]})
+			}
+		}
+	}
+	resp, body := postJSON(t, url+"/v1/ingest", map[string]any{"updates": updates})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %v", resp.StatusCode, body)
+	}
+	if got := int(body["ingested"].(float64)); got != len(updates) {
+		t.Fatalf("ingested %d, want %d", got, len(updates))
+	}
+	return d
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: status %d body %v", resp.StatusCode, body)
+	}
+}
+
+func TestIngestAndEstimateSum(t *testing.T) {
+	ts, hash := newTestServer(t)
+	d := ingestExample1(t, ts.URL)
+
+	batch, err := dataset.SampleBottomK(d, 8, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := funcs.NewRG(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range []struct {
+		name string
+		kind dataset.EstimatorKind
+	}{{"lstar", dataset.KindLStar}, {"ustar", dataset.KindUStar}, {"ht", dataset.KindHT}} {
+		resp, body := getJSON(t, ts.URL+"/v1/estimate/sum?func=rg&p=1&estimator="+est.name)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d body %v", est.name, resp.StatusCode, body)
+		}
+		want, err := batch.EstimateSum(f, est.kind, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := body["estimate"].(float64); got != want {
+			t.Errorf("%s estimate = %v, want %v (batch)", est.name, got, want)
+		}
+	}
+}
+
+func TestEstimateSumFuncs(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestExample1(t, ts.URL)
+	for _, query := range []string{
+		"func=rgplus&p=2",
+		"func=max",
+		"func=or",
+		"func=and",
+		"func=lincomb&c=1,-1&p=1",
+	} {
+		resp, body := getJSON(t, ts.URL+"/v1/estimate/sum?"+query)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d body %v", query, resp.StatusCode, body)
+			continue
+		}
+		if est := body["estimate"].(float64); est < 0 || math.IsNaN(est) {
+			t.Errorf("%s: estimate %v not nonnegative", query, est)
+		}
+	}
+}
+
+func TestEstimateJaccard(t *testing.T) {
+	ts, hash := newTestServer(t)
+	d := ingestExample1(t, ts.URL)
+	resp, body := getJSON(t, ts.URL+"/v1/estimate/jaccard")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("jaccard: status %d body %v", resp.StatusCode, body)
+	}
+	batch, err := dataset.SampleBottomK(d, 8, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := body["jaccard"].(float64), funcs.JaccardEstimate(batch.Outcomes); got != want {
+		t.Errorf("jaccard = %v, want %v (batch)", got, want)
+	}
+}
+
+func TestStringKeysCoordinate(t *testing.T) {
+	// Two servers with the same salt must agree on estimates when fed the
+	// same named items, even via different key spellings of the batch.
+	ts, _ := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+		"updates": []map[string]any{
+			{"instance": 0, "key": "alpha", "weight": 0.9},
+			{"instance": 1, "key": "alpha", "weight": 0.4},
+			{"instance": 0, "key": "beta", "weight": 0.2},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %v", resp.StatusCode, body)
+	}
+	resp, body = getJSON(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d: %v", resp.StatusCode, body)
+	}
+	eng := body["engine"].(map[string]any)
+	if got := int(eng["keys"].(float64)); got != 2 {
+		t.Errorf("engine keys = %d, want 2", got)
+	}
+	if got := int(eng["active_entries"].(float64)); got != 3 {
+		t.Errorf("active entries = %d, want 3", got)
+	}
+}
+
+func TestIngestKeyHandling(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// An explicit empty-string key is a real key (StringKey("")), distinct
+	// from raw id 0; zero weights are accepted no-ops reported as skipped.
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+		"updates": []map[string]any{
+			{"instance": 0, "key": "", "weight": 1.0},
+			{"instance": 0, "id": 0, "weight": 2.0},
+			{"instance": 0, "key": "zeroed", "weight": 0.0},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %v", resp.StatusCode, body)
+	}
+	if got := int(body["ingested"].(float64)); got != 2 {
+		t.Errorf("ingested = %d, want 2", got)
+	}
+	if got := int(body["skipped"].(float64)); got != 1 {
+		t.Errorf("skipped = %d, want 1", got)
+	}
+	resp, body = getJSON(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d: %v", resp.StatusCode, body)
+	}
+	eng := body["engine"].(map[string]any)
+	if got := int(eng["keys"].(float64)); got != 2 {
+		t.Errorf("engine keys = %d, want 2 (empty-string key distinct from id 0)", got)
+	}
+	if got := int(eng["ingests"].(float64)); got != 2 {
+		t.Errorf("engine ingests = %d, want 2 (matches response's ingested)", got)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestExample1(t, ts.URL)
+	getJSON(t, ts.URL+"/v1/estimate/jaccard")
+	getJSON(t, ts.URL+"/v1/estimate/sum?func=nope") // one error
+
+	resp, body := getJSON(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d: %v", resp.StatusCode, body)
+	}
+	endpoints := body["endpoints"].(map[string]any)
+	jac := endpoints["GET /v1/estimate/jaccard"].(map[string]any)
+	if got := jac["requests"].(float64); got != 1 {
+		t.Errorf("jaccard requests = %v, want 1", got)
+	}
+	sum := endpoints["GET /v1/estimate/sum"].(map[string]any)
+	if got := sum["errors"].(float64); got != 1 {
+		t.Errorf("sum errors = %v, want 1", got)
+	}
+	if up := body["uptime_seconds"].(float64); up < 0 {
+		t.Errorf("uptime %v negative", up)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, tc := range []struct {
+		name string
+		do   func() (*http.Response, map[string]any)
+		code int
+	}{
+		{"ingest bad json", func() (*http.Response, map[string]any) {
+			resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader([]byte("{nope")))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp, decodeBody(t, resp)
+		}, http.StatusBadRequest},
+		{"ingest unknown field", func() (*http.Response, map[string]any) {
+			return postJSON(t, ts.URL+"/v1/ingest", map[string]any{"rows": []int{1}})
+		}, http.StatusBadRequest},
+		{"ingest empty batch", func() (*http.Response, map[string]any) {
+			return postJSON(t, ts.URL+"/v1/ingest", map[string]any{"updates": []any{}})
+		}, http.StatusBadRequest},
+		{"ingest bad instance", func() (*http.Response, map[string]any) {
+			return postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+				"updates": []map[string]any{{"instance": 9, "key": "x", "weight": 1}},
+			})
+		}, http.StatusBadRequest},
+		{"ingest negative weight", func() (*http.Response, map[string]any) {
+			return postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+				"updates": []map[string]any{{"instance": 0, "key": "x", "weight": -1}},
+			})
+		}, http.StatusBadRequest},
+		{"sum unknown func", func() (*http.Response, map[string]any) {
+			return getJSON(t, ts.URL+"/v1/estimate/sum?func=nope")
+		}, http.StatusBadRequest},
+		{"sum unknown estimator", func() (*http.Response, map[string]any) {
+			return getJSON(t, ts.URL+"/v1/estimate/sum?estimator=nope")
+		}, http.StatusBadRequest},
+		{"sum bad p", func() (*http.Response, map[string]any) {
+			return getJSON(t, ts.URL+"/v1/estimate/sum?func=rg&p=zzz")
+		}, http.StatusBadRequest},
+		{"sum lincomb missing c", func() (*http.Response, map[string]any) {
+			return getJSON(t, ts.URL+"/v1/estimate/sum?func=lincomb")
+		}, http.StatusBadRequest},
+		{"sum lincomb bad c", func() (*http.Response, map[string]any) {
+			return getJSON(t, ts.URL+"/v1/estimate/sum?func=lincomb&c=1,x")
+		}, http.StatusBadRequest},
+		{"sum arity mismatch", func() (*http.Response, map[string]any) {
+			// lincomb with 3 coefficients on a 2-instance engine.
+			return getJSON(t, ts.URL+"/v1/estimate/sum?func=lincomb&c=1,2,3")
+		}, http.StatusBadRequest},
+	} {
+		resp, body := tc.do()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (body %v)", tc.name, resp.StatusCode, tc.code, body)
+			continue
+		}
+		if _, ok := body["error"]; !ok {
+			t.Errorf("%s: error body missing: %v", tc.name, body)
+		}
+	}
+
+	// Wrong methods hit the mux's method matching.
+	resp, err := http.Get(ts.URL + "/v1/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/ingest status %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/estimate/sum", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/estimate/sum status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestNonFiniteEstimateIsAnError(t *testing.T) {
+	// A sum of near-MaxFloat64 weights overflows to +Inf, which JSON
+	// cannot carry; the server must answer 500 with an error body, not
+	// an empty 200.
+	ts, _ := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+		"updates": []map[string]any{
+			{"instance": 0, "id": 0, "weight": 1e308},
+			{"instance": 0, "id": 1, "weight": 1e308},
+			{"instance": 0, "id": 2, "weight": 1e308},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %v", resp.StatusCode, body)
+	}
+	resp, body = getJSON(t, ts.URL+"/v1/estimate/sum?func=max")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 (body %v)", resp.StatusCode, body)
+	}
+	if _, ok := body["error"]; !ok {
+		t.Fatalf("error body missing: %v", body)
+	}
+}
+
+func TestRGPlusArityGuard(t *testing.T) {
+	// rgplus needs exactly 2 instances; a 3-instance engine must reject it
+	// with 400 rather than panic.
+	hash := sampling.NewSeedHash(1)
+	eng, err := engine.New(engine.Config{Instances: 3, K: 4, Hash: hash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(eng))
+	defer ts.Close()
+	resp, body := getJSON(t, ts.URL+"/v1/estimate/sum?func=rgplus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 (body %v)", resp.StatusCode, body)
+	}
+}
+
+func TestConcurrentTraffic(t *testing.T) {
+	// Parallel ingest + query traffic must stay consistent (run with
+	// -race in CI).
+	ts, _ := newTestServer(t)
+	done := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for j := 0; j < 20; j++ {
+				key := fmt.Sprintf("item-%d-%d", g, j%10)
+				raw, _ := json.Marshal(map[string]any{
+					"updates": []map[string]any{{"instance": g % 2, "key": key, "weight": float64(j + 1)}},
+				})
+				resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					done <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			done <- nil
+		}(g)
+		go func() {
+			for j := 0; j < 10; j++ {
+				resp, err := http.Get(ts.URL + "/v1/estimate/jaccard")
+				if err != nil {
+					done <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, body := getJSON(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d: %v", resp.StatusCode, body)
+	}
+	eng := body["engine"].(map[string]any)
+	if got := int(eng["keys"].(float64)); got != 40 {
+		t.Errorf("engine keys = %d, want 40", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ads"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/funcs"
 	"repro/internal/graph"
 	"repro/internal/order"
@@ -148,6 +149,31 @@ func SampleBottomK(d Dataset, k int, hash SeedHash) (CoordinatedSample, error) {
 // positive supports from per-item outcomes (ratio of unbiased L* sums of
 // AND and OR).
 func JaccardEstimate(outcomes []TupleOutcome) float64 { return funcs.JaccardEstimate(outcomes) }
+
+// Streaming coordinated sketches (the live counterpart of SampleBottomK;
+// cmd/monestd serves them over HTTP).
+type (
+	// Engine is a sharded, concurrent, incrementally maintained store of
+	// coordinated bottom-k sketches.
+	Engine = engine.Engine
+	// EngineConfig parameterizes an Engine.
+	EngineConfig = engine.Config
+	// EngineUpdate is one weighted observation for batched ingest.
+	EngineUpdate = engine.Update
+	// EngineSnapshot is a consistent cut reduced to per-item outcomes —
+	// bit-identical to SampleBottomK on the aggregated weight matrix when
+	// items are keyed by column index.
+	EngineSnapshot = engine.Snapshot
+	// EngineStats summarizes an engine's contents and traffic.
+	EngineStats = engine.Stats
+)
+
+// NewEngine returns an empty streaming sketch engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// StringKey maps a string item key into the engine's uint64 key space,
+// consistently with SeedHash.UString.
+func StringKey(s string) uint64 { return sampling.StringKey(s) }
 
 // Graphs and all-distances sketches (the Section 7 similarity application).
 type (

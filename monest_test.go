@@ -56,6 +56,53 @@ func TestFacadeDatasetFlow(t *testing.T) {
 	}
 }
 
+func TestFacadeStreamingEngine(t *testing.T) {
+	data, err := repro.NewDataset(nil, [][]float64{{1, 0.5, 0.2}, {0.9, 0.6, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := repro.NewSeedHash(3)
+	eng, err := repro.NewEngine(repro.EngineConfig{Instances: 2, K: 2, Hash: hash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < data.R(); i++ {
+		for k := 0; k < data.N(); k++ {
+			if err := eng.Ingest(i, uint64(k), data.W[i][k]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	batch, err := repro.SampleBottomK(data, 2, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	if got, want := repro.JaccardEstimate(snap.Sample.Outcomes), repro.JaccardEstimate(batch.Outcomes); got != want {
+		t.Errorf("streaming Jaccard %g != batch %g", got, want)
+	}
+	f, err := repro.NewRG(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := snap.Sample.EstimateSum(f, repro.KindLStar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := batch.EstimateSum(f, repro.KindLStar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("streaming L* sum %g != batch %g", got, want)
+	}
+	// StringKey must coordinate with UString: named ingest through the
+	// HTTP layer and direct UString consumers share the same seed space.
+	if got, want := hash.U(repro.StringKey("alpha")), hash.UString("alpha"); got != want {
+		t.Errorf("U(StringKey(alpha)) = %g, UString(alpha) = %g", got, want)
+	}
+}
+
 func TestFacadeSimilarityFlow(t *testing.T) {
 	g, err := repro.PreferentialAttachment(60, 2, 3)
 	if err != nil {
