@@ -1,0 +1,28 @@
+# Single source of truth for build/test/bench/lint invocations: CI jobs
+# (.github/workflows/ci.yml) and local runs call the same targets.
+
+GO        ?= go
+BENCH_OUT ?= BENCH_local.json
+
+.PHONY: build test race bench lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark, emitted as test2json lines: cheap enough
+# for every push, structured enough to accumulate a perf trajectory from
+# the uploaded BENCH_<sha>.json artifacts.
+bench:
+	$(GO) test -json -run xxx -bench . -benchtime 1x ./internal/engine/ ./internal/server/ > $(BENCH_OUT)
+	@echo "benchmark results written to $(BENCH_OUT)"
+
+lint:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) vet ./...

@@ -92,7 +92,7 @@ func BenchmarkUStarBackwardSolver(b *testing.B) {
 		b.Fatal(err)
 	}
 	o := scheme.Sample([]float64{1.2, 0.3}, 0.35)
-	g := core.Grid{N: 200}
+	g := core.DefaultGrid()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = funcs.EstimateUStar(f, o, g)

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	monestd [-addr :8080] [-instances 2] [-k 64] [-shards 16] [-salt 1]
+//	        [-default-estimator lstar] [-estimators lstar,ustar,ht,...]
+//
+// -default-estimator names the registry estimator used when a request
+// does not name one; -estimators is an optional comma-separated allowlist
+// of registry base names (empty = every registered estimator servable).
 //
 // Example session:
 //
@@ -12,6 +17,9 @@
 //	curl -X POST localhost:8080/v1/ingest -d \
 //	  '{"updates":[{"instance":0,"key":"alpha","weight":0.9}]}'
 //	curl 'localhost:8080/v1/estimate/sum?func=rg&p=1&estimator=lstar'
+//	curl -X POST localhost:8080/v1/query -d '{"queries":[
+//	  {"func":"rg","p":1,"estimator":"ustar"},
+//	  {"statistic":"jaccard"}]}'
 //	curl localhost:8080/v1/estimate/jaccard
 //	curl localhost:8080/v1/stats
 //
@@ -28,10 +36,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/estreg"
+	"repro/internal/funcs"
 	"repro/internal/sampling"
 	"repro/internal/server"
 )
@@ -42,15 +53,17 @@ func main() {
 	k := flag.Int("k", 64, "bottom-k sketch size per instance")
 	shards := flag.Int("shards", 16, "lock-striped shard count")
 	salt := flag.Uint64("salt", 1, "seed-hash salt (writers sharing it stay coordinated)")
+	defaultEst := flag.String("default-estimator", "lstar", "registry estimator used when a request names none")
+	allow := flag.String("estimators", "", "comma-separated allowlist of estimator base names (empty = all registered)")
 	flag.Parse()
 
-	if err := run(*addr, *instances, *k, *shards, *salt); err != nil {
+	if err := run(*addr, *instances, *k, *shards, *salt, *defaultEst, *allow); err != nil {
 		fmt.Fprintln(os.Stderr, "monestd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, instances, k, shards int, salt uint64) error {
+func run(addr string, instances, k, shards int, salt uint64, defaultEst, allow string) error {
 	eng, err := engine.New(engine.Config{
 		Instances: instances,
 		K:         k,
@@ -60,10 +73,37 @@ func run(addr string, instances, k, shards int, salt uint64) error {
 	if err != nil {
 		return err
 	}
+	reg := estreg.Default()
+	if allow != "" {
+		var names []string
+		for _, n := range strings.Split(allow, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			// A blank-but-set allowlist is an operator mistake; clearing
+			// the restriction here would serve everything they meant to
+			// lock down.
+			return fmt.Errorf("-estimators %q names no estimators", allow)
+		}
+		if err := reg.Allow(names); err != nil {
+			return err
+		}
+	}
+	// Fail at startup, not per request, when the default estimator does
+	// not resolve (rg is arity-0, so it probes any instance count).
+	probe, err := funcs.NewRG(1)
+	if err != nil {
+		return err
+	}
+	if _, _, err := reg.Build(defaultEst, probe, instances); err != nil {
+		return fmt.Errorf("default estimator: %w", err)
+	}
 	logger := log.New(os.Stderr, "monestd: ", log.LstdFlags)
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(eng),
+		Handler:           server.NewWith(eng, server.Config{Registry: reg, DefaultEstimator: defaultEst}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

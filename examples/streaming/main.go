@@ -98,4 +98,27 @@ func main() {
 		st.RetainedEntries, st.ActiveEntries,
 		100*float64(st.RetainedEntries)/float64(st.ActiveEntries))
 	fmt.Printf("exact L1 difference %.1f — live estimates above are unbiased with L*'s guarantee\n", exact)
+
+	// The customization story served by monestd's /v1/query: ONE snapshot,
+	// every estimator of the registry evaluated on the same outcomes —
+	// pick per workload (L* for similar instances, U* for dissimilar, HT
+	// as the baseline, v-optimal as the per-data benchmark).
+	fmt.Printf("\none snapshot, the whole estimator zoo (exact %.1f):\n", exact)
+	reg := repro.DefaultEstimators()
+	for _, name := range []string{"lstar", "ustar", "ht", "voptimal"} {
+		est, meta, err := reg.Build(name, f, data.R())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum, err := repro.SumEstimates(est, snap.Sample.Outcomes, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		unbiased := "unbiased"
+		if !meta.Unbiased {
+			unbiased = "diagnostic"
+		}
+		fmt.Printf("  %-9s %12.1f  rel.err %+8.4f  (%s)\n",
+			name, sum.Estimate, sum.Estimate/exact-1, unbiased)
+	}
 }

@@ -66,6 +66,13 @@ func StepLB(base float64, steps []Step) LowerBoundFunc {
 	}
 }
 
+// DefaultGrid is the serving-path grid shared by every U*/v-optimal
+// evaluation that aggregates over many outcomes (dataset sums, the
+// estimator registry): coarse enough to keep per-item cost low, and
+// justified against finer grids by ablation_test.go. Single-outcome
+// analyses that need the full resolution pass Grid{} instead.
+func DefaultGrid() Grid { return Grid{N: 200} }
+
 // Grid controls the discretization used by curve builders and hull-based
 // optima. The zero value selects sensible defaults.
 type Grid struct {

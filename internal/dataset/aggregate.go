@@ -91,7 +91,7 @@ func (cs CoordinatedSample) EstimateSum(f funcs.F, kind EstimatorKind, items []i
 		case KindLStar:
 			sum += funcs.EstimateLStar(f, o)
 		case KindUStar:
-			sum += funcs.EstimateUStar(f, o, core.Grid{N: 200})
+			sum += funcs.EstimateUStar(f, o, core.DefaultGrid())
 		case KindHT:
 			sum += funcs.EstimateHT(f, o)
 		default:

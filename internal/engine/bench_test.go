@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/estreg"
 	"repro/internal/funcs"
 	"repro/internal/sampling"
 )
@@ -123,6 +124,52 @@ func BenchmarkQuerySum(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSnapshotSharedByEstimators measures the batched-query engine
+// pattern: ONE snapshot (consistent cut + conditional-threshold reduction)
+// reused by several registry estimators, versus re-snapshotting per
+// estimator as the sequential alias endpoints would.
+func BenchmarkSnapshotSharedByEstimators(b *testing.B) {
+	e := newBenchEngine(b, 64)
+	if err := e.IngestBatch(benchUpdates(1 << 14)); err != nil {
+		b.Fatal(err)
+	}
+	f, err := funcs.NewRG(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := estreg.Default()
+	var ests []estreg.Estimator
+	for _, name := range []string{"lstar", "ht"} {
+		est, _, err := reg.Build(name, f, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ests = append(ests, est)
+	}
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			snap := e.Snapshot()
+			for _, est := range ests {
+				if _, err := estreg.Sum(est, snap.Sample.Outcomes, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("resnapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, est := range ests {
+				snap := e.Snapshot()
+				if _, err := estreg.Sum(est, snap.Sample.Outcomes, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkQueryJaccard measures snapshot plus the Jaccard ratio estimate.

@@ -237,6 +237,18 @@ func (e *Engine) Snapshot() Snapshot {
 	return snap
 }
 
+// Index returns the position of key in Keys (and hence in
+// Sample.Outcomes), or false when the key was never ingested. Keys is
+// sorted ascending, so this is a binary search — the query layer resolves
+// per-query item selections against one shared snapshot with it.
+func (s Snapshot) Index(key uint64) (int, bool) {
+	i := sort.Search(len(s.Keys), func(i int) bool { return s.Keys[i] >= key })
+	if i < len(s.Keys) && s.Keys[i] == key {
+		return i, true
+	}
+	return 0, false
+}
+
 // Stats summarizes the engine's contents and traffic.
 type Stats struct {
 	// Instances, K and Shards echo the configuration.

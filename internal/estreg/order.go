@@ -1,0 +1,185 @@
+package estreg
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/funcs"
+	"repro/internal/order"
+	"repro/internal/sampling"
+)
+
+// maxOrderDomain caps the enumerated discrete domain (|vals|+1)^r so a
+// query cannot make the server materialize an exponential table.
+const maxOrderDomain = 4096
+
+// orderSpec is the parsed "order:<spec>" parameterization.
+type orderSpec struct {
+	vals []float64
+	pis  []float64
+	by   string  // "asc", "desc" or "near"
+	near float64 // target for by=near:<t>
+}
+
+// parseOrderSpec parses "vals=…;pis=…;by=asc|desc|near:<t>". pis defaults
+// to vals (the canonical PPS ladder π(x)=x, valid when every value lies in
+// (0,1]); by defaults to asc.
+func parseOrderSpec(spec string) (orderSpec, error) {
+	s := orderSpec{by: "asc"}
+	if strings.TrimSpace(spec) == "" {
+		return s, fmt.Errorf(`empty order spec; want "vals=…;pis=…;by=asc|desc|near:<t>"`)
+	}
+	for _, kv := range strings.Split(spec, ";") {
+		key, val, found := strings.Cut(kv, "=")
+		if !found {
+			return s, fmt.Errorf("order spec field %q is not key=value", kv)
+		}
+		switch key {
+		case "vals", "pis":
+			xs, err := parseFloats(val)
+			if err != nil {
+				return s, fmt.Errorf("order spec %s: %w", key, err)
+			}
+			if key == "vals" {
+				s.vals = xs
+			} else {
+				s.pis = xs
+			}
+		case "by":
+			switch {
+			case val == "asc" || val == "desc":
+				s.by = val
+			case strings.HasPrefix(val, "near:"):
+				t, err := strconv.ParseFloat(val[len("near:"):], 64)
+				if err != nil || math.IsNaN(t) || math.IsInf(t, 0) {
+					return s, fmt.Errorf("order spec by=near: bad target %q", val[len("near:"):])
+				}
+				s.by, s.near = "near", t
+			default:
+				return s, fmt.Errorf("order spec by=%q; want asc, desc or near:<t>", val)
+			}
+		default:
+			return s, fmt.Errorf("order spec has unknown field %q (have vals, pis, by)", key)
+		}
+	}
+	if len(s.vals) == 0 {
+		return s, fmt.Errorf("order spec needs vals=v1,v2,…")
+	}
+	if len(s.pis) == 0 {
+		s.pis = s.vals
+	}
+	return s, nil
+}
+
+func parseFloats(raw string) ([]float64, error) {
+	parts := strings.Split(raw, ",")
+	xs := make([]float64, len(parts))
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		xs[i] = x
+	}
+	return xs, nil
+}
+
+// buildOrder is the Builder for "order:<spec>": a ≺+-optimal estimator on
+// the spec's discrete ladder with priorities by increasing f (asc — which
+// reproduces L*, Thm 4.3), decreasing f (desc — which reproduces U*,
+// Lemma 6.1), or proximity of f to a target (near:<t> — Example 5's
+// "expected pattern first" customization, which prioritizes data with
+// f ≈ t).
+func buildOrder(spec string, f funcs.F, instances int) (Estimator, Meta, error) {
+	s, err := parseOrderSpec(spec)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	scheme, err := order.NewScheme(s.vals, s.pis)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if a := f.Arity(); a != 0 && a != instances {
+		return nil, Meta{}, fmt.Errorf("func %s needs %d instances, order estimator built for %d", f.Name(), a, instances)
+	}
+	if size := math.Pow(float64(len(s.vals)+1), float64(instances)); size > maxOrderDomain {
+		return nil, Meta{}, fmt.Errorf("order domain (%d+1)^%d exceeds %d vectors", len(s.vals), instances, maxOrderDomain)
+	}
+	var less func(a, b []float64) bool
+	switch s.by {
+	case "asc":
+		less = order.LessByF(f.Value)
+	case "desc":
+		less = order.LessByFDesc(f.Value)
+	case "near":
+		t := s.near
+		less = func(a, b []float64) bool {
+			return math.Abs(f.Value(a)-t) < math.Abs(f.Value(b)-t)
+		}
+	}
+	est, err := order.New(order.Problem{
+		Scheme: scheme,
+		F:      f.Value,
+		Domain: order.GridDomain(scheme, instances),
+		Less:   less,
+	})
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	name := "order:" + spec
+	return &orderEstimator{name: name, scheme: scheme, est: est}, Meta{
+		Estimator:   name,
+		Unbiased:    true,
+		Nonnegative: true,
+		Note:        "≺+-optimal on the declared ladder (Section 5); outcomes are coarsened to the ladder before estimation",
+	}, nil
+}
+
+// orderEstimator adapts an order.Estimator to streaming outcomes. The
+// wrapped estimator memoizes per-outcome estimates and is not
+// concurrency-safe, so evaluations are serialized; the memo then makes
+// repeated outcomes (the common case on a snapshot, where an outcome is
+// determined by its knowledge pattern) O(1) after the first.
+type orderEstimator struct {
+	name   string
+	scheme order.Scheme
+	mu     sync.Mutex
+	est    *order.Estimator
+}
+
+func (e *orderEstimator) Name() string { return e.name }
+
+// Estimate coarsens the outcome to the declared discrete scheme and
+// evaluates the ≺+-optimal estimator on it. Coarsening is the honest
+// direction: a known entry whose ladder probability π(value) is below the
+// outcome's seed is information the discrete scheme could not have
+// produced, so it is dropped to unknown (exactly TupleOutcome.At's
+// semantics transposed to the ladder). Known values off the ladder are
+// outside the estimator's domain and rejected. The coarsened estimate
+// keeps the discrete problem's unbiasedness whenever the streaming
+// thresholds are at least as permissive as the ladder (e.g. sketches with
+// k at least the instance support), since the discrete scheme is then the
+// binding revelation threshold.
+func (e *orderEstimator) Estimate(o sampling.TupleOutcome) (float64, error) {
+	known := make([]bool, len(o.Known))
+	vals := make([]float64, len(o.Vals))
+	for i, k := range o.Known {
+		if !k {
+			continue
+		}
+		pi, err := e.scheme.Pi(o.Vals[i])
+		if err != nil {
+			return 0, fmt.Errorf("entry %d: %w", i, err)
+		}
+		if pi >= o.Rho {
+			known[i] = true
+			vals[i] = o.Vals[i]
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.est.EstimateOutcome(known, vals, o.Rho)
+}

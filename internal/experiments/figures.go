@@ -83,7 +83,7 @@ func RunF4(cfg Config) (Result, error) {
 			for i, x := range xs {
 				o := scheme.Sample(v, x)
 				lY[i] = funcs.EstimateLStar(f, o)
-				uY[i] = funcs.EstimateUStar(f, o, core.Grid{N: 200})
+				uY[i] = funcs.EstimateUStar(f, o, core.DefaultGrid())
 				oY[i] = vopt(x)
 			}
 			name := fmt.Sprintf("v1=%g v2=%g", v[0], v[1])

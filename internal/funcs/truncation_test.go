@@ -67,7 +67,7 @@ func TestRGPlusUStarTruncatedRegime(t *testing.T) {
 	// both-known outcomes (scaled), f when both entries clear the
 	// threshold; unbiased in all regimes.
 	for _, v := range [][]float64{{1.2, 0.3}, {1.2, 0.8}, {2.0, 1.7}} {
-		est := func(u float64) float64 { return EstimateUStar(f, s.Sample(v, u), core.Grid{N: 200}) }
+		est := func(u float64) float64 { return EstimateUStar(f, s.Sample(v, u), core.DefaultGrid()) }
 		got, err := numeric.IntegrateToZero(est, 1, numeric.QuadOptions{AbsTol: 1e-10})
 		if err != nil {
 			t.Fatalf("v=%v: %v", v, err)

@@ -1,0 +1,84 @@
+package order
+
+import (
+	"fmt"
+	"math"
+)
+
+// EstimateOutcome evaluates the ≺+-optimal estimator on a sampled outcome
+// given only the estimator-visible information: which entries are known,
+// their (ladder) values, and the seed u. It is the honest counterpart of
+// Estimate(v, u) for the serving path, where the true data vector is never
+// available: the outcome chain above u is reconstructed from the outcome
+// alone — an entry known at u with value x stays known on the coarser
+// interval (lo, hi] iff π(x) ≥ hi, and an entry unknown at u is unknown on
+// every coarser interval. Both methods agree exactly on outcomes the
+// scheme can produce (asserted in the tests); estimates are memoized in
+// the same per-outcome table as Estimate.
+//
+// The estimator is not safe for concurrent use: callers that share one
+// across goroutines (e.g. the estimator registry) must serialize access.
+func (e *Estimator) EstimateOutcome(known []bool, vals []float64, u float64) (float64, error) {
+	if len(known) != e.r || len(vals) != e.r {
+		return 0, fmt.Errorf("order: outcome arity %d/%d, estimator wants %d", len(known), len(vals), e.r)
+	}
+	if u <= 0 || u > 1 || math.IsNaN(u) {
+		return 0, fmt.Errorf("order: seed %g outside (0,1]", u)
+	}
+	for i := range known {
+		if !known[i] {
+			continue
+		}
+		pi, err := e.p.Scheme.Pi(vals[i])
+		if err != nil {
+			return 0, err
+		}
+		if pi < u {
+			return 0, fmt.Errorf("order: entry %d value %g (π=%g) cannot be known at seed %g", i, vals[i], pi, u)
+		}
+	}
+	bounds := e.p.Scheme.Boundaries()
+	mass := 0.0
+	for i := len(bounds) - 1; i >= 1; i-- {
+		lo, hi := bounds[i-1], bounds[i]
+		k := knowledge{lo: lo, hi: hi, known: make([]bool, e.r), vals: make([]float64, e.r)}
+		for j := range known {
+			if !known[j] {
+				continue
+			}
+			if pi, _ := e.p.Scheme.Pi(vals[j]); pi >= hi {
+				k.known[j] = true
+				k.vals[j] = vals[j]
+			}
+		}
+		key := k.key()
+		est, ok := e.memo[key]
+		if !ok {
+			// Only memo misses pay the O(|Domain|·r) consistency scan —
+			// repeated outcomes (the snapshot common case) stay O(1). A
+			// restricted custom Domain may fail here; Estimate's
+			// representative() would panic, EstimateOutcome errors.
+			if !e.hasConsistent(k) {
+				return 0, fmt.Errorf("order: outcome on (%g, %g] has no consistent domain vector", lo, hi)
+			}
+			est = e.extendOptimally(k, hi, mass)
+			e.memo[key] = est
+		}
+		if u > lo {
+			return est, nil
+		}
+		mass += est * (hi - lo)
+	}
+	return 0, fmt.Errorf("order: seed %g below every boundary", u)
+}
+
+// hasConsistent reports whether any domain vector could have produced the
+// outcome.
+func (e *Estimator) hasConsistent(k knowledge) bool {
+	for _, z := range e.p.Domain {
+		if e.consistent(k, z) {
+			return true
+		}
+	}
+	return false
+}

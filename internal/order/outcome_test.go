@@ -1,0 +1,114 @@
+package order
+
+import (
+	"math"
+	"testing"
+)
+
+// outcomeOfVector computes the estimator-visible outcome of v at seed u
+// under the scheme: entry i is known iff π(v_i) ≥ u.
+func outcomeOfVector(t *testing.T, s Scheme, v []float64, u float64) ([]bool, []float64) {
+	t.Helper()
+	known := make([]bool, len(v))
+	vals := make([]float64, len(v))
+	for i, x := range v {
+		pi, err := s.Pi(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pi >= u {
+			known[i] = true
+			vals[i] = x
+		}
+	}
+	return known, vals
+}
+
+// TestEstimateOutcomeMatchesEstimate walks every Example 5 domain vector
+// through every outcome interval under all three orders and asserts the
+// outcome-only evaluation agrees exactly with the data-vector evaluation —
+// the serving path (which never sees v) must reproduce the batch
+// estimator's numbers bit-for-bit.
+func TestEstimateOutcomeMatchesEstimate(t *testing.T) {
+	s, f, dom := example5(t)
+	for _, tc := range []struct {
+		name string
+		less func(a, b []float64) bool
+	}{
+		{"asc", LessByF(f)},
+		{"desc", LessByFDesc(f)},
+		{"diff2", diff2Less},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			est, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: tc.less})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounds := s.Boundaries()
+			for _, v := range dom {
+				for i := 1; i < len(bounds); i++ {
+					// One seed strictly inside the interval and one at its
+					// top boundary.
+					for _, u := range []float64{bounds[i-1] + (bounds[i]-bounds[i-1])/3, bounds[i]} {
+						want := est.Estimate(v, u)
+						known, vals := outcomeOfVector(t, s, v, u)
+						got, err := est.EstimateOutcome(known, vals, u)
+						if err != nil {
+							t.Fatalf("v=%v u=%g: %v", v, u, err)
+						}
+						if got != want {
+							t.Errorf("v=%v u=%g: EstimateOutcome=%v, Estimate=%v", v, u, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEstimateOutcomeSharedMemo interleaves data-vector and outcome-only
+// evaluations on one estimator: the shared memo must stay consistent.
+func TestEstimateOutcomeSharedMemo(t *testing.T) {
+	s, f, dom := example5(t)
+	est, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: diff2Less})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{3, 1}
+	u := 0.3
+	want := est.Estimate(v, u) // primes the memo
+	known, vals := outcomeOfVector(t, s, v, u)
+	got, err := est.EstimateOutcome(known, vals, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("memoized EstimateOutcome=%v, Estimate=%v", got, want)
+	}
+}
+
+func TestEstimateOutcomeRejectsBadInputs(t *testing.T) {
+	s, f, dom := example5(t)
+	est, err := New(Problem{Scheme: s, F: f, Domain: dom, Less: LessByF(f)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		known []bool
+		vals  []float64
+		u     float64
+	}{
+		{"arity", []bool{true}, []float64{1}, 0.5},
+		{"seed zero", []bool{false, false}, []float64{0, 0}, 0},
+		{"seed above one", []bool{false, false}, []float64{0, 0}, 1.5},
+		{"seed nan", []bool{false, false}, []float64{0, 0}, math.NaN()},
+		{"off-ladder value", []bool{true, false}, []float64{1.5, 0}, 0.1},
+		// π(1) = 0.2 < 0.5: value 1 cannot be known at seed 0.5.
+		{"unknowable value", []bool{true, false}, []float64{1, 0}, 0.5},
+	} {
+		if _, err := est.EstimateOutcome(tc.known, tc.vals, tc.u); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}

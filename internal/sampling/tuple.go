@@ -117,6 +117,21 @@ func (o TupleOutcome) Bound(i int) float64 {
 	return o.Scheme.Threshold(i, o.Rho)
 }
 
+// LowerVector returns the pointwise-minimal data vector consistent with the
+// outcome: known entries carry their value, unknown entries (known only to
+// lie in [0, Threshold)) are taken as 0. For a monotone f this vector
+// attains the outcome's lower bound; the registry's plug-in v-optimal
+// estimator customizes to it.
+func (o TupleOutcome) LowerVector() []float64 {
+	v := make([]float64, len(o.Vals))
+	for i, known := range o.Known {
+		if known {
+			v[i] = o.Vals[i]
+		}
+	}
+	return v
+}
+
 // NumKnown returns the number of sampled entries.
 func (o TupleOutcome) NumKnown() int {
 	n := 0

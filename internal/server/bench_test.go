@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/sampling"
+)
+
+// newBenchServer returns a server over an engine pre-loaded with a
+// heavy-tailed two-instance workload of n keys.
+func newBenchServer(b *testing.B, n int) *Server {
+	b.Helper()
+	eng, err := engine.New(engine.Config{Instances: 2, K: 64, Shards: 16, Hash: sampling.NewSeedHash(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := dataset.Flows(dataset.FlowsConfig{N: n, Seed: 1})
+	var updates []engine.Update
+	for i := 0; i < d.R(); i++ {
+		for k := 0; k < d.N(); k++ {
+			if d.W[i][k] > 0 {
+				updates = append(updates, engine.Update{Instance: i, Key: uint64(k), Weight: d.W[i][k]})
+			}
+		}
+	}
+	if err := eng.IngestBatch(updates); err != nil {
+		b.Fatal(err)
+	}
+	return New(eng)
+}
+
+// do drives one request through the handler without network overhead.
+func do(b *testing.B, s *Server, method, target string, body []byte) {
+	b.Helper()
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, target, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		b.Fatalf("%s %s: status %d body %s", method, target, w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkEstimateSumEndpoint measures the legacy single-estimate path:
+// one snapshot per request.
+func BenchmarkEstimateSumEndpoint(b *testing.B) {
+	s := newBenchServer(b, 1<<14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do(b, s, http.MethodGet, "/v1/estimate/sum?func=rg&p=1&estimator=lstar", nil)
+	}
+}
+
+// benchBatch is the 4-query batched request the contrast benchmarks share:
+// two sum estimators, a selected sum, and a Jaccard — one snapshot total.
+func benchBatch(b *testing.B) []byte {
+	b.Helper()
+	body, err := json.Marshal(map[string]any{
+		"queries": []map[string]any{
+			{"func": "rg", "p": 1, "estimator": "lstar"},
+			{"func": "rg", "p": 1, "estimator": "ht"},
+			{"func": "max", "estimator": "lstar"},
+			{"statistic": "jaccard"},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+// BenchmarkQueryBatched4 measures four statistics answered from ONE shared
+// snapshot via POST /v1/query.
+func BenchmarkQueryBatched4(b *testing.B) {
+	s := newBenchServer(b, 1<<14)
+	body := benchBatch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do(b, s, http.MethodPost, "/v1/query", body)
+	}
+	b.ReportMetric(4, "queries/op")
+}
+
+// BenchmarkQuerySequential4 measures the same four statistics as separate
+// alias requests — four snapshots — to quantify what batching saves.
+func BenchmarkQuerySequential4(b *testing.B) {
+	s := newBenchServer(b, 1<<14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do(b, s, http.MethodGet, "/v1/estimate/sum?func=rg&p=1&estimator=lstar", nil)
+		do(b, s, http.MethodGet, "/v1/estimate/sum?func=rg&p=1&estimator=ht", nil)
+		do(b, s, http.MethodGet, "/v1/estimate/sum?func=max&estimator=lstar", nil)
+		do(b, s, http.MethodGet, "/v1/estimate/jaccard", nil)
+	}
+	b.ReportMetric(4, "queries/op")
+}
+
+// BenchmarkIngestEndpoint measures the HTTP ingest path end to end.
+func BenchmarkIngestEndpoint(b *testing.B) {
+	s := newBenchServer(b, 1<<10)
+	body, err := json.Marshal(map[string]any{
+		"updates": []map[string]any{
+			{"instance": 0, "key": "alpha", "weight": 0.9},
+			{"instance": 1, "key": "alpha", "weight": 0.5},
+			{"instance": 0, "key": "beta", "weight": 0.2},
+			{"instance": 1, "key": "gamma", "weight": 1.4},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		do(b, s, http.MethodPost, "/v1/ingest", body)
+	}
+}

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/engine"
+	"repro/internal/estreg"
+	"repro/internal/funcs"
+	"repro/internal/sampling"
+)
+
+// POST /v1/query evaluates a batch of (statistic, estimator, selection)
+// triples over ONE shared engine snapshot: the consistent cut and its
+// conditional-threshold reduction (the expensive part of the read path)
+// are paid once per batch, estimator instances are shared across queries
+// naming the same (estimator, statistic) pair, and every query then reads
+// the same outcomes — so a batch is both cheaper and more consistent than
+// the equivalent sequence of /v1/estimate/* calls.
+//
+// Request:
+//
+//	{"queries": [
+//	  {"statistic": "sum", "func": "rg", "p": 1, "estimator": "lstar"},
+//	  {"statistic": "sum", "func": "rg", "p": 1, "estimator": "ustar",
+//	   "keys": ["alpha", "beta"]},
+//	  {"statistic": "jaccard"},
+//	  {"statistic": "sum", "func": "and",
+//	   "estimator": "order:vals=0.25,0.5,1;by=desc"}
+//	]}
+//
+// Response: {"snapshot": {...}, "results": [...]} with one result per
+// query in request order. A query that fails (unknown estimator, arity
+// mismatch, unknown key) carries its own {"error": {...}} and does not
+// fail the batch; the request as a whole is 400 only when malformed.
+
+// maxQueryBody caps /v1/query request bodies (1 MiB).
+const maxQueryBody = 1 << 20
+
+// maxBatchQueries caps the queries per batch.
+const maxBatchQueries = 64
+
+// querySpec is one (statistic, estimator, selection) triple.
+type querySpec struct {
+	// Statistic is "sum" (default) or "jaccard".
+	Statistic string `json:"statistic,omitempty"`
+	// Func, P, C name the item function for sum queries (as the
+	// /v1/estimate/sum query parameters; default rg with p=1).
+	Func string    `json:"func,omitempty"`
+	P    *float64  `json:"p,omitempty"`
+	C    []float64 `json:"c,omitempty"`
+	// Estimator is a registry name; empty uses the server default.
+	Estimator string `json:"estimator,omitempty"`
+	// Keys/IDs select a subset of items (string keys are hashed with
+	// sampling.StringKey, IDs are raw). Empty selects every item.
+	Keys []string `json:"keys,omitempty"`
+	IDs  []uint64 `json:"ids,omitempty"`
+}
+
+// queryResult is one query's answer.
+type queryResult struct {
+	Statistic    string       `json:"statistic"`
+	Estimator    string       `json:"estimator,omitempty"`
+	Estimate     *float64     `json:"estimate,omitempty"`
+	Items        int          `json:"items,omitempty"`
+	SecondMoment *float64     `json:"second_moment,omitempty"`
+	MaxItem      *float64     `json:"max_item_estimate,omitempty"`
+	Meta         *estreg.Meta `json:"meta,omitempty"`
+	Error        *apiError    `json:"error,omitempty"`
+
+	status int // HTTP status the error maps to on the alias endpoints
+}
+
+type queryRequest struct {
+	Queries []querySpec `json:"queries"`
+}
+
+type queryResponse struct {
+	Snapshot snapshotInfo  `json:"snapshot"`
+	Results  []queryResult `json:"results"`
+}
+
+// snapshotInfo summarizes the shared snapshot a batch was answered from.
+type snapshotInfo struct {
+	Keys           int `json:"keys"`
+	SampledEntries int `json:"sampled_entries"`
+	TotalEntries   int `json:"total_entries"`
+}
+
+// plannedQuery is a parsed, estimator-resolved query awaiting a snapshot.
+type plannedQuery struct {
+	spec      querySpec
+	statistic string
+	f         funcs.F // sum only
+	est       estreg.Estimator
+	meta      estreg.Meta
+	orEst     estreg.Estimator // jaccard: est estimates AND, orEst OR
+}
+
+// planner resolves query specs against the server's registry, sharing
+// built estimator instances across queries of one batch (order estimators
+// carry a per-instance memo, so sharing is a real win).
+type planner struct {
+	s     *Server
+	cache map[string]*plannedQuery
+}
+
+func (s *Server) newPlanner() *planner {
+	return &planner{s: s, cache: make(map[string]*plannedQuery)}
+}
+
+// planOne resolves a single spec outside a batch (the alias endpoints).
+func (s *Server) planOne(spec querySpec) (*plannedQuery, error) {
+	return s.newPlanner().plan(spec)
+}
+
+func (p *planner) plan(spec querySpec) (*plannedQuery, error) {
+	estName := spec.Estimator
+	if estName == "" {
+		estName = p.s.defaultEst
+	}
+	statistic := spec.Statistic
+	if statistic == "" {
+		statistic = "sum"
+	}
+	sp := statisticSpec{Func: spec.Func, P: spec.P, C: spec.C}
+	key := statistic + "\x00" + estName + "\x00" + sp.key()
+	if q, ok := p.cache[key]; ok {
+		return q, nil
+	}
+	q := &plannedQuery{spec: spec, statistic: statistic}
+	switch statistic {
+	case "sum":
+		f, err := sp.build()
+		if err != nil {
+			return nil, err
+		}
+		if a := f.Arity(); a != 0 && a != p.s.eng.Config().Instances {
+			return nil, fmt.Errorf("func %s needs %d instances, engine has %d", f.Name(), a, p.s.eng.Config().Instances)
+		}
+		q.f = f
+		q.est, q.meta, err = p.s.reg.Build(estName, f, p.s.eng.Config().Instances)
+		if err != nil {
+			return nil, err
+		}
+	case "jaccard":
+		if spec.Func != "" || spec.P != nil || len(spec.C) != 0 {
+			return nil, errors.New("statistic jaccard takes no func/p/c (it is the AND/OR sum ratio)")
+		}
+		var err error
+		q.est, q.meta, err = p.s.reg.Build(estName, funcs.AndTuple{}, p.s.eng.Config().Instances)
+		if err != nil {
+			return nil, err
+		}
+		q.orEst, _, err = p.s.reg.Build(estName, funcs.OrTuple{}, p.s.eng.Config().Instances)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown statistic %q (have sum, jaccard)", statistic)
+	}
+	p.cache[key] = q
+	return q, nil
+}
+
+// failure marks a per-query error on the result.
+func (q *plannedQuery) failure(status int, err error) queryResult {
+	return queryResult{
+		Statistic: q.statistic,
+		Estimator: q.meta.Estimator,
+		Error:     &apiError{Code: errCode(status), Message: err.Error()},
+		status:    status,
+	}
+}
+
+// items resolves the spec's selection against the snapshot (nil = all).
+// The selection is a set: a key named twice, or once as a string and once
+// as its raw id, counts once — never double-counting the sum.
+func (q *plannedQuery) items(snap engine.Snapshot) ([]int, error) {
+	if len(q.spec.Keys) == 0 && len(q.spec.IDs) == 0 {
+		return nil, nil
+	}
+	items := make([]int, 0, len(q.spec.Keys)+len(q.spec.IDs))
+	seen := make(map[int]bool, cap(items))
+	add := func(j int) {
+		if !seen[j] {
+			seen[j] = true
+			items = append(items, j)
+		}
+	}
+	for _, name := range q.spec.Keys {
+		j, ok := snap.Index(sampling.StringKey(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown key %q (never ingested)", name)
+		}
+		add(j)
+	}
+	for _, id := range q.spec.IDs {
+		j, ok := snap.Index(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown id %d (never ingested)", id)
+		}
+		add(j)
+	}
+	return items, nil
+}
+
+// eval answers the query from the shared snapshot.
+func (q *plannedQuery) eval(snap engine.Snapshot) queryResult {
+	items, err := q.items(snap)
+	if err != nil {
+		return q.failure(http.StatusBadRequest, err)
+	}
+	switch q.statistic {
+	case "jaccard":
+		and, err := estreg.Sum(q.est, snap.Sample.Outcomes, items)
+		if err != nil {
+			return q.failure(http.StatusBadRequest, err)
+		}
+		or, err := estreg.Sum(q.orEst, snap.Sample.Outcomes, items)
+		if err != nil {
+			return q.failure(http.StatusBadRequest, err)
+		}
+		jac := 0.0
+		if or.Estimate != 0 {
+			jac = and.Estimate / or.Estimate
+		}
+		if err := finite(jac); err != nil {
+			return q.failure(http.StatusInternalServerError, err)
+		}
+		return queryResult{
+			Statistic: "jaccard",
+			Estimator: q.meta.Estimator,
+			Estimate:  &jac,
+			Items:     and.Items,
+		}
+	default: // "sum"; plan admits nothing else
+		res, err := estreg.Sum(q.est, snap.Sample.Outcomes, items)
+		if err != nil {
+			return q.failure(http.StatusBadRequest, err)
+		}
+		if err := finite(res.Estimate); err != nil {
+			return q.failure(http.StatusInternalServerError, err)
+		}
+		meta := q.meta
+		return queryResult{
+			Statistic:    "sum",
+			Estimator:    meta.Estimator,
+			Estimate:     &res.Estimate,
+			Items:        res.Items,
+			SecondMoment: &res.SecondMoment,
+			MaxItem:      &res.MaxItem,
+			Meta:         &meta,
+		}
+	}
+}
+
+func (s *Server) handleQuery(r *http.Request) (int, any, error) {
+	var req queryRequest
+	if err := decodeStrict(r, maxQueryBody, &req); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	if len(req.Queries) == 0 {
+		return http.StatusBadRequest, nil, errors.New("empty query batch")
+	}
+	if len(req.Queries) > maxBatchQueries {
+		return http.StatusBadRequest, nil, fmt.Errorf("batch of %d queries exceeds %d", len(req.Queries), maxBatchQueries)
+	}
+
+	// Plan every query before touching the engine, so malformed queries
+	// cost nothing and well-formed ones share built estimators.
+	pl := s.newPlanner()
+	planned := make([]*plannedQuery, len(req.Queries))
+	results := make([]queryResult, len(req.Queries))
+	for i, spec := range req.Queries {
+		q, err := pl.plan(spec)
+		if err != nil {
+			statistic := spec.Statistic
+			if statistic == "" {
+				statistic = "sum"
+			}
+			results[i] = queryResult{
+				Statistic: statistic,
+				Error:     &apiError{Code: errCode(http.StatusBadRequest), Message: err.Error()},
+			}
+			continue
+		}
+		// The planner caches by (statistic, estimator, func); the
+		// selection is per-query, so rebind it.
+		bound := *q
+		bound.spec = spec
+		planned[i] = &bound
+	}
+
+	// One consistent cut, one conditional-threshold reduction, shared by
+	// every query in the batch.
+	snap := s.eng.Snapshot()
+	for i, q := range planned {
+		if q == nil {
+			continue // planning error already recorded
+		}
+		results[i] = q.eval(snap)
+	}
+	return http.StatusOK, queryResponse{
+		Snapshot: snapshotInfo{
+			Keys:           len(snap.Keys),
+			SampledEntries: snap.Sample.SampledEntries,
+			TotalEntries:   snap.Sample.TotalEntries,
+		},
+		Results: results,
+	}, nil
+}

@@ -4,15 +4,25 @@
 // Endpoints:
 //
 //	POST /v1/ingest           batch of {instance, key|id, weight} updates
+//	POST /v1/query            batched multi-statistic queries over one
+//	                          shared snapshot (see query.go)
 //	GET  /v1/estimate/sum     sum estimate: ?func=rg&p=1&estimator=lstar
 //	GET  /v1/estimate/jaccard Jaccard of the instances' positive supports
 //	GET  /v1/stats            engine contents + per-endpoint counters
 //	GET  /healthz             liveness probe
 //
 // Item functions: rg (param p), rgplus (p), max, or, and, lincomb (comma
-// list c plus p). Estimators: lstar (default), ustar, ht. String item keys
-// are hashed with sampling.StringKey, so external writers using the same
-// salt stay coordinated with the server's sketches.
+// list c plus p). Estimators resolve through the estreg registry
+// ("lstar", "ustar", "ht", "voptimal", "order:<spec>", plus anything the
+// operator registered); /v1/estimate/* are registry-backed aliases of the
+// corresponding single-query /v1/query request. String item keys are
+// hashed with sampling.StringKey, so external writers using the same salt
+// stay coordinated with the server's sketches.
+//
+// Requests are strict: JSON bodies reject unknown fields and GET
+// endpoints reject unknown query parameters, both with a structured
+// {"error": {"code", "message"}} body — a typo like "estimtor" is a 400,
+// never a silently ignored default.
 package server
 
 import (
@@ -21,13 +31,15 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/estreg"
 	"repro/internal/funcs"
 	"repro/internal/sampling"
 )
@@ -36,13 +48,23 @@ import (
 // memory use by a misbehaving client.
 const maxIngestBody = 16 << 20
 
-// Server routes the API onto one engine. Create with New; the zero value
-// is not usable.
+// Server routes the API onto one engine. Create with New or NewWith; the
+// zero value is not usable.
 type Server struct {
-	eng     *engine.Engine
-	mux     *http.ServeMux
-	started time.Time
-	metrics map[string]*endpointMetrics
+	eng        *engine.Engine
+	reg        *estreg.Registry
+	defaultEst string
+	mux        *http.ServeMux
+	started    time.Time
+	metrics    map[string]*endpointMetrics
+}
+
+// Config customizes a server beyond its engine.
+type Config struct {
+	// Registry resolves estimator names; nil means estreg.Default().
+	Registry *estreg.Registry
+	// DefaultEstimator is used when a request names none. Default "lstar".
+	DefaultEstimator string
 }
 
 // endpointMetrics counts one endpoint's traffic. Fields are atomics so
@@ -60,15 +82,47 @@ type EndpointStats struct {
 	AvgLatencyMS float64 `json:"avg_latency_ms"`
 }
 
-// New returns a server wired to the engine.
-func New(eng *engine.Engine) *Server {
+// apiError is the structured error body: {"error": {"code", "message"}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func errCode(status int) string {
+	switch {
+	case status == http.StatusNotFound:
+		return "not_found"
+	case status >= 400 && status < 500:
+		return "bad_request"
+	default:
+		return "internal"
+	}
+}
+
+// New returns a server wired to the engine with the default registry.
+func New(eng *engine.Engine) *Server { return NewWith(eng, Config{}) }
+
+// NewWith returns a server wired to the engine with a custom estimator
+// registry and default estimator. The default estimator must build for
+// the registry (checked lazily per request; cmd/monestd validates it at
+// startup).
+func NewWith(eng *engine.Engine, cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = estreg.Default()
+	}
+	if cfg.DefaultEstimator == "" {
+		cfg.DefaultEstimator = "lstar"
+	}
 	s := &Server{
-		eng:     eng,
-		mux:     http.NewServeMux(),
-		started: time.Now(),
-		metrics: make(map[string]*endpointMetrics),
+		eng:        eng,
+		reg:        cfg.Registry,
+		defaultEst: cfg.DefaultEstimator,
+		mux:        http.NewServeMux(),
+		started:    time.Now(),
+		metrics:    make(map[string]*endpointMetrics),
 	}
 	s.route("POST /v1/ingest", s.handleIngest)
+	s.route("POST /v1/query", s.handleQuery)
 	s.route("GET /v1/estimate/sum", s.handleEstimateSum)
 	s.route("GET /v1/estimate/jaccard", s.handleEstimateJaccard)
 	s.route("GET /v1/stats", s.handleStats)
@@ -91,7 +145,7 @@ func (s *Server) route(pattern string, h func(*http.Request) (int, any, error)) 
 		m.latencyNS.Add(uint64(time.Since(start).Nanoseconds()))
 		if err != nil {
 			m.errors.Add(1)
-			writeJSON(w, code, map[string]string{"error": err.Error()})
+			writeJSON(w, code, map[string]apiError{"error": {Code: errCode(code), Message: err.Error()}})
 			return
 		}
 		writeJSON(w, code, body)
@@ -104,6 +158,39 @@ func writeJSON(w http.ResponseWriter, code int, body any) {
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
 	_ = enc.Encode(body) // headers are out; nothing useful to do on error
+}
+
+// checkParams rejects query parameters outside the endpoint's contract, so
+// client typos fail loudly instead of silently falling back to defaults.
+func checkParams(q url.Values, allowed ...string) error {
+	for name := range q {
+		ok := false
+		for _, a := range allowed {
+			if name == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			sort.Strings(allowed)
+			return fmt.Errorf("unknown query parameter %q (have %s)", name, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}
+
+// decodeStrict decodes a JSON body rejecting unknown fields and trailing
+// garbage.
+func decodeStrict(r *http.Request, maxBytes int64, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("decoding body: trailing data after JSON value")
+	}
+	return nil
 }
 
 // ingestRequest is the POST /v1/ingest body.
@@ -122,10 +209,8 @@ type ingestUpdate struct {
 
 func (s *Server) handleIngest(r *http.Request) (int, any, error) {
 	var req ingestRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxIngestBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		return http.StatusBadRequest, nil, fmt.Errorf("decoding body: %w", err)
+	if err := decodeStrict(r, maxIngestBody, &req); err != nil {
+		return http.StatusBadRequest, nil, err
 	}
 	if len(req.Updates) == 0 {
 		return http.StatusBadRequest, nil, errors.New("empty update batch")
@@ -150,20 +235,38 @@ func (s *Server) handleIngest(r *http.Request) (int, any, error) {
 	return http.StatusOK, map[string]int{"ingested": ingested, "skipped": len(batch) - ingested}, nil
 }
 
-// parseF builds the item function named by the query (?func=, with ?p=
-// and ?c= parameters where applicable).
-func parseF(q map[string][]string) (funcs.F, error) {
-	get := func(name, def string) string {
-		if v, ok := q[name]; ok && len(v) > 0 && v[0] != "" {
-			return v[0]
-		}
-		return def
+// statisticSpec names an item function with its parameters — the common
+// form behind the ?func=… query parameters and the /v1/query JSON fields.
+type statisticSpec struct {
+	Func string
+	P    *float64
+	C    []float64
+}
+
+// key canonicalizes the spec for the batch planner's estimator cache.
+func (sp statisticSpec) key() string {
+	p := ""
+	if sp.P != nil {
+		p = strconv.FormatFloat(*sp.P, 'g', -1, 64)
 	}
-	p, err := strconv.ParseFloat(get("p", "1"), 64)
-	if err != nil {
-		return nil, fmt.Errorf("parameter p: %w", err)
+	cs := make([]string, len(sp.C))
+	for i, c := range sp.C {
+		cs[i] = strconv.FormatFloat(c, 'g', -1, 64)
 	}
-	switch name := get("func", "rg"); name {
+	return sp.Func + "|p=" + p + "|c=" + strings.Join(cs, ",")
+}
+
+// build constructs the item function.
+func (sp statisticSpec) build() (funcs.F, error) {
+	p := 1.0
+	if sp.P != nil {
+		p = *sp.P
+	}
+	name := sp.Func
+	if name == "" {
+		name = "rg"
+	}
+	switch name {
 	case "rg":
 		return funcs.NewRG(p)
 	case "rgplus":
@@ -175,68 +278,62 @@ func parseF(q map[string][]string) (funcs.F, error) {
 	case "and":
 		return funcs.AndTuple{}, nil
 	case "lincomb":
-		raw := get("c", "")
-		if raw == "" {
-			return nil, errors.New("func lincomb needs ?c=c1,c2,...")
+		if len(sp.C) == 0 {
+			return nil, errors.New("func lincomb needs coefficients c")
 		}
-		parts := strings.Split(raw, ",")
-		c := make([]float64, len(parts))
-		for i, part := range parts {
-			c[i], err = strconv.ParseFloat(strings.TrimSpace(part), 64)
-			if err != nil {
-				return nil, fmt.Errorf("parameter c[%d]: %w", i, err)
-			}
-		}
-		return funcs.NewLinComb(c, p)
+		return funcs.NewLinComb(sp.C, p)
 	default:
 		return nil, fmt.Errorf("unknown func %q (have rg, rgplus, max, or, and, lincomb)", name)
 	}
 }
 
-func parseEstimator(q map[string][]string) (dataset.EstimatorKind, error) {
-	name := "lstar"
-	if v, ok := q["estimator"]; ok && len(v) > 0 && v[0] != "" {
-		name = v[0]
+// parseStatistic reads the ?func=, ?p= and ?c= query parameters.
+func parseStatistic(q url.Values) (statisticSpec, error) {
+	sp := statisticSpec{Func: q.Get("func")}
+	if raw := q.Get("p"); raw != "" {
+		p, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return sp, fmt.Errorf("parameter p: %w", err)
+		}
+		sp.P = &p
 	}
-	switch name {
-	case "lstar":
-		return dataset.KindLStar, nil
-	case "ustar":
-		return dataset.KindUStar, nil
-	case "ht":
-		return dataset.KindHT, nil
-	default:
-		return 0, fmt.Errorf("unknown estimator %q (have lstar, ustar, ht)", name)
+	if raw := q.Get("c"); raw != "" {
+		parts := strings.Split(raw, ",")
+		sp.C = make([]float64, len(parts))
+		for i, part := range parts {
+			c, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return sp, fmt.Errorf("parameter c[%d]: %w", i, err)
+			}
+			sp.C[i] = c
+		}
 	}
+	return sp, nil
 }
 
 func (s *Server) handleEstimateSum(r *http.Request) (int, any, error) {
 	q := r.URL.Query()
-	f, err := parseF(q)
+	if err := checkParams(q, "func", "p", "c", "estimator"); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	sp, err := parseStatistic(q)
 	if err != nil {
 		return http.StatusBadRequest, nil, err
 	}
-	kind, err := parseEstimator(q)
+	plan, err := s.planOne(querySpec{Statistic: "sum", Func: sp.Func, P: sp.P, C: sp.C, Estimator: q.Get("estimator")})
 	if err != nil {
 		return http.StatusBadRequest, nil, err
-	}
-	if a := f.Arity(); a != 0 && a != s.eng.Config().Instances {
-		return http.StatusBadRequest, nil, fmt.Errorf("func %s needs %d instances, engine has %d", f.Name(), a, s.eng.Config().Instances)
 	}
 	snap := s.eng.Snapshot()
-	est, err := snap.Sample.EstimateSum(f, kind, nil)
-	if err != nil {
-		return http.StatusInternalServerError, nil, err
-	}
-	if math.IsInf(est, 0) || math.IsNaN(est) {
-		// JSON cannot carry Inf/NaN; without this guard the encoder
-		// fails after the 200 header is out and the body arrives empty.
-		return http.StatusInternalServerError, nil, fmt.Errorf("estimate %g is not finite (weights near the float range overflow the sum)", est)
+	res := plan.eval(snap)
+	if res.Error != nil {
+		return res.status, nil, errors.New(res.Error.Message)
 	}
 	return http.StatusOK, map[string]any{
-		"estimate":        est,
-		"estimator":       kind.String(),
-		"func":            f.Name(),
+		"estimate":        *res.Estimate,
+		"estimator":       res.Estimator,
+		"func":            plan.f.Name(),
+		"meta":            res.Meta,
 		"keys":            len(snap.Keys),
 		"sampled_entries": snap.Sample.SampledEntries,
 		"total_entries":   snap.Sample.TotalEntries,
@@ -244,18 +341,30 @@ func (s *Server) handleEstimateSum(r *http.Request) (int, any, error) {
 }
 
 func (s *Server) handleEstimateJaccard(r *http.Request) (int, any, error) {
+	q := r.URL.Query()
+	if err := checkParams(q, "estimator"); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	plan, err := s.planOne(querySpec{Statistic: "jaccard", Estimator: q.Get("estimator")})
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
 	snap := s.eng.Snapshot()
-	jac := funcs.JaccardEstimate(snap.Sample.Outcomes)
-	if math.IsInf(jac, 0) || math.IsNaN(jac) {
-		return http.StatusInternalServerError, nil, fmt.Errorf("jaccard estimate %g is not finite", jac)
+	res := plan.eval(snap)
+	if res.Error != nil {
+		return res.status, nil, errors.New(res.Error.Message)
 	}
 	return http.StatusOK, map[string]any{
-		"jaccard": jac,
-		"keys":    len(snap.Keys),
+		"jaccard":   *res.Estimate,
+		"estimator": res.Estimator,
+		"keys":      len(snap.Keys),
 	}, nil
 }
 
 func (s *Server) handleStats(r *http.Request) (int, any, error) {
+	if err := checkParams(r.URL.Query()); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
 	endpoints := make(map[string]EndpointStats, len(s.metrics))
 	for pattern, m := range s.metrics {
 		n := m.requests.Load()
@@ -267,11 +376,24 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 	}
 	return http.StatusOK, map[string]any{
 		"engine":         s.eng.Stats(),
+		"estimators":     s.reg.Names(),
 		"endpoints":      endpoints,
 		"uptime_seconds": time.Since(s.started).Seconds(),
 	}, nil
 }
 
+// handleHealthz deliberately skips checkParams: liveness probes may
+// append cache-busting or tagging parameters, and a 400 here would flip
+// an orchestrator's view of a healthy instance.
 func (s *Server) handleHealthz(*http.Request) (int, any, error) {
 	return http.StatusOK, map[string]string{"status": "ok"}, nil
+}
+
+func finite(x float64) error {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		// JSON cannot carry Inf/NaN; without this guard the encoder fails
+		// after the 200 header is out and the body arrives empty.
+		return fmt.Errorf("estimate %g is not finite (weights near the float range overflow the sum)", x)
+	}
+	return nil
 }

@@ -8,10 +8,12 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/estreg"
 	"repro/internal/funcs"
 	"repro/internal/sampling"
 )
@@ -418,5 +420,405 @@ func TestConcurrentTraffic(t *testing.T) {
 	eng := body["engine"].(map[string]any)
 	if got := int(eng["keys"].(float64)); got != 40 {
 		t.Errorf("engine keys = %d, want 40", got)
+	}
+}
+
+// ---- /v1/query: batched multi-statistic queries over one snapshot ----
+
+// ladderDataset builds a deterministic 2-instance weight matrix whose
+// positive values lie on the {0.25, 0.5, 1} ladder, so every registered
+// estimator — including the discrete order-optimal family — applies.
+func ladderDataset(t *testing.T, n int) dataset.Dataset {
+	t.Helper()
+	ladder := []float64{0.25, 0.5, 1, 0} // index 3 = absent entry
+	w := make([][]float64, 2)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for k := 0; k < n; k++ {
+			w[i][k] = ladder[(k+3*i)%4]
+		}
+	}
+	d, err := dataset.New(nil, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func ingestDataset(t *testing.T, url string, d dataset.Dataset) {
+	t.Helper()
+	var updates []map[string]any
+	for i := 0; i < d.R(); i++ {
+		for k := 0; k < d.N(); k++ {
+			if d.W[i][k] > 0 {
+				updates = append(updates, map[string]any{"instance": i, "id": k, "weight": d.W[i][k]})
+			}
+		}
+	}
+	resp, body := postJSON(t, url+"/v1/ingest", map[string]any{"updates": updates})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %v", resp.StatusCode, body)
+	}
+}
+
+// TestQueryRoundTripsAllEstimators is the acceptance check for the
+// estimator registry: every registered estimator name round-trips through
+// POST /v1/query and matches its batch counterpart bit-for-bit on the
+// same snapshot (the engine's outcomes are bit-identical to
+// dataset.SampleBottomK, and estreg.Sum accumulates like the batch
+// pipeline, so serving must introduce no drift at all).
+func TestQueryRoundTripsAllEstimators(t *testing.T) {
+	ts, hash := newTestServer(t)
+	d := ladderDataset(t, 40)
+	ingestDataset(t, ts.URL, d)
+	batch, err := dataset.SampleBottomK(d, 8, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := funcs.NewRG(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := estreg.Default()
+	names := []string{
+		"lstar",
+		"ustar",
+		"ht",
+		"voptimal",
+		"order:vals=0.25,0.5,1;by=asc",
+		"order:vals=0.25,0.5,1;by=desc",
+		"order:vals=0.25,0.5,1;by=near:0.5",
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			est, meta, err := reg.Build(name, f, d.R())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantErr := estreg.Sum(est, batch.Outcomes, nil)
+			resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+				"queries": []map[string]any{{"func": "rg", "p": 1, "estimator": name}},
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %v", resp.StatusCode, body)
+			}
+			res := body["results"].([]any)[0].(map[string]any)
+			if wantErr != nil {
+				if _, ok := res["error"]; !ok {
+					t.Fatalf("batch errored (%v) but serving succeeded: %v", wantErr, res)
+				}
+				return
+			}
+			if e, ok := res["error"]; ok {
+				t.Fatalf("query error: %v", e)
+			}
+			if got := res["estimate"].(float64); got != want.Estimate {
+				t.Errorf("estimate = %v, want %v (batch)", got, want.Estimate)
+			}
+			if got := res["second_moment"].(float64); got != want.SecondMoment {
+				t.Errorf("second_moment = %v, want %v", got, want.SecondMoment)
+			}
+			if got := int(res["items"].(float64)); got != want.Items {
+				t.Errorf("items = %d, want %d", got, want.Items)
+			}
+			gotMeta := res["meta"].(map[string]any)
+			if gotMeta["estimator"] != meta.Estimator {
+				t.Errorf("meta.estimator = %v, want %v", gotMeta["estimator"], meta.Estimator)
+			}
+			snap := body["snapshot"].(map[string]any)
+			if got := int(snap["total_entries"].(float64)); got != batch.TotalEntries {
+				t.Errorf("snapshot total_entries = %d, want %d", got, batch.TotalEntries)
+			}
+		})
+	}
+}
+
+// TestQueryBatchSharedSnapshot exercises one batch mixing statistics,
+// estimators and selections: results must agree with the alias endpoints
+// and with per-item batch estimates resolved through the same snapshot.
+func TestQueryBatchSharedSnapshot(t *testing.T) {
+	ts, hash := newTestServer(t)
+	d := ingestExample1(t, ts.URL)
+	batch, err := dataset.SampleBottomK(d, 8, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := funcs.NewRG(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := estreg.Default()
+	lstar, _, err := reg.Build("lstar", f, d.R())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAll, err := estreg.Sum(lstar, batch.Outcomes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSel, err := estreg.Sum(lstar, batch.Outcomes, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"queries": []map[string]any{
+			{"statistic": "sum", "func": "rg", "p": 1, "estimator": "lstar"},
+			{"statistic": "sum", "func": "rg", "p": 1, "estimator": "lstar", "ids": []int{1, 3}},
+			{"statistic": "jaccard"},
+			{"estimator": "nope"},                  // per-query failure
+			{"ids": []int{999}},                    // unknown id
+			{"statistic": "jaccard", "func": "rg"}, // jaccard takes no func
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
+	}
+	r0 := results[0].(map[string]any)
+	if got := r0["estimate"].(float64); got != wantAll.Estimate {
+		t.Errorf("full sum = %v, want %v", got, wantAll.Estimate)
+	}
+	r1 := results[1].(map[string]any)
+	if got := r1["estimate"].(float64); got != wantSel.Estimate {
+		t.Errorf("selected sum = %v, want %v", got, wantSel.Estimate)
+	}
+	if got := int(r1["items"].(float64)); got != 2 {
+		t.Errorf("selected items = %d, want 2", got)
+	}
+	r2 := results[2].(map[string]any)
+	if got, want := r2["estimate"].(float64), funcs.JaccardEstimate(batch.Outcomes); got != want {
+		t.Errorf("jaccard = %v, want %v", got, want)
+	}
+	for i := 3; i < 6; i++ {
+		res := results[i].(map[string]any)
+		errBody, ok := res["error"].(map[string]any)
+		if !ok {
+			t.Errorf("result %d should carry an error: %v", i, res)
+			continue
+		}
+		if errBody["code"] != "bad_request" || errBody["message"] == "" {
+			t.Errorf("result %d error = %v", i, errBody)
+		}
+	}
+}
+
+// TestQuerySelectionByStringKey: string keys resolve through the same
+// hash as ingest, so a key-addressed estimate equals the id-addressed one.
+func TestQuerySelectionByStringKey(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+		"updates": []map[string]any{
+			{"instance": 0, "key": "alpha", "weight": 0.9},
+			{"instance": 1, "key": "alpha", "weight": 0.4},
+			{"instance": 0, "key": "beta", "weight": 0.2},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %v", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"queries": []map[string]any{
+			{"func": "rg", "keys": []string{"alpha"}},
+			{"func": "rg", "keys": []string{"gamma"}}, // never ingested
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, body)
+	}
+	results := body["results"].([]any)
+	r0 := results[0].(map[string]any)
+	if got := int(r0["items"].(float64)); got != 1 {
+		t.Errorf("items = %d, want 1", got)
+	}
+	if est := r0["estimate"].(float64); est < 0 || math.IsNaN(est) {
+		t.Errorf("estimate %v not nonnegative", est)
+	}
+	if _, ok := results[1].(map[string]any)["error"]; !ok {
+		t.Errorf("unknown key should fail per-query: %v", results[1])
+	}
+}
+
+func TestQueryRequestErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"malformed", `{nope`},
+		{"unknown top-level field", `{"batch": []}`},
+		{"unknown query field", `{"queries": [{"estimtor": "lstar"}]}`},
+		{"empty batch", `{"queries": []}`},
+		{"trailing data", `{"queries": [{}]} {}`},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := decodeBody(t, resp)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %v)", tc.name, resp.StatusCode, body)
+			continue
+		}
+		errBody, ok := body["error"].(map[string]any)
+		if !ok || errBody["code"] != "bad_request" {
+			t.Errorf("%s: structured error missing: %v", tc.name, body)
+		}
+	}
+	// Oversized batches are rejected up front.
+	queries := make([]map[string]any, 65)
+	for i := range queries {
+		queries[i] = map[string]any{"func": "rg"}
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{"queries": queries})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d (body %v)", resp.StatusCode, body)
+	}
+}
+
+// TestUnknownQueryParamsRejected: a typo like "estimtor" must be a 400
+// with a structured error, never a silently applied default.
+func TestUnknownQueryParamsRejected(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{
+		"/v1/estimate/sum?estimtor=lstar",
+		"/v1/estimate/sum?func=rg&bogus=1",
+		"/v1/estimate/jaccard?func=rg",
+		"/v1/stats?verbose=1",
+	} {
+		resp, body := getJSON(t, ts.URL+path)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %v)", path, resp.StatusCode, body)
+			continue
+		}
+		errBody, ok := body["error"].(map[string]any)
+		if !ok {
+			t.Errorf("%s: structured error missing: %v", path, body)
+			continue
+		}
+		if errBody["code"] != "bad_request" || errBody["message"] == "" {
+			t.Errorf("%s: error = %v", path, errBody)
+		}
+	}
+}
+
+// TestHealthzIgnoresParams: liveness probes may append cache-busting
+// parameters; strictness there would flip orchestrator health checks.
+func TestHealthzIgnoresParams(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := getJSON(t, ts.URL+"/healthz?ts=123&probe=lb")
+	if resp.StatusCode != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz with params: status %d body %v", resp.StatusCode, body)
+	}
+}
+
+// TestQuerySelectionDeduplicates: a key named twice, or once as a string
+// and once as its raw id, counts once — selections are sets.
+func TestQuerySelectionDeduplicates(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+		"updates": []map[string]any{
+			{"instance": 0, "key": "alpha", "weight": 0.9},
+			{"instance": 1, "key": "alpha", "weight": 0.4},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %v", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"queries": []map[string]any{
+			{"func": "rg", "keys": []string{"alpha"}},
+			{"func": "rg", "keys": []string{"alpha", "alpha"},
+				"ids": []uint64{sampling.StringKey("alpha")}},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %v", resp.StatusCode, body)
+	}
+	results := body["results"].([]any)
+	once := results[0].(map[string]any)
+	thrice := results[1].(map[string]any)
+	if got := int(thrice["items"].(float64)); got != 1 {
+		t.Errorf("deduplicated items = %d, want 1", got)
+	}
+	if got, want := thrice["estimate"].(float64), once["estimate"].(float64); got != want {
+		t.Errorf("deduplicated estimate %v != single-selector estimate %v", got, want)
+	}
+}
+
+// TestAliasEndpointsAreRegistryBacked: the legacy sum/jaccard endpoints
+// accept every registry name and agree with /v1/query exactly.
+func TestAliasEndpointsAreRegistryBacked(t *testing.T) {
+	ts, _ := newTestServer(t)
+	d := ladderDataset(t, 24)
+	ingestDataset(t, ts.URL, d)
+	name := "order:vals=0.25,0.5,1;by=desc"
+	resp, body := getJSON(t, ts.URL+"/v1/estimate/sum?func=rg&p=1&estimator="+url.QueryEscape(name))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alias status %d: %v", resp.StatusCode, body)
+	}
+	resp, qbody := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"queries": []map[string]any{{"func": "rg", "p": 1, "estimator": name}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %v", resp.StatusCode, qbody)
+	}
+	qres := qbody["results"].([]any)[0].(map[string]any)
+	if got, want := body["estimate"].(float64), qres["estimate"].(float64); got != want {
+		t.Errorf("alias estimate %v != query estimate %v", got, want)
+	}
+	if body["estimator"] != name {
+		t.Errorf("alias estimator = %v, want %v", body["estimator"], name)
+	}
+	// Jaccard with a non-default estimator kind.
+	resp, body = getJSON(t, ts.URL+"/v1/estimate/jaccard?estimator=ht")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("jaccard ht status %d: %v", resp.StatusCode, body)
+	}
+	if jac := body["jaccard"].(float64); jac < 0 || jac > 1+1e-9 || math.IsNaN(jac) {
+		t.Errorf("jaccard ht = %v outside [0,1]", jac)
+	}
+}
+
+// TestServerAllowlistAndDefault: NewWith wires a restricted registry and a
+// different default estimator (the -estimators / -default-estimator
+// flags of cmd/monestd).
+func TestServerAllowlistAndDefault(t *testing.T) {
+	hash := sampling.NewSeedHash(7)
+	eng, err := engine.New(engine.Config{Instances: 2, K: 8, Shards: 4, Hash: hash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := estreg.Default()
+	if err := reg.Allow([]string{"ustar", "ht"}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWith(eng, Config{Registry: reg, DefaultEstimator: "ustar"}))
+	defer ts.Close()
+	ingestDataset(t, ts.URL, ladderDataset(t, 12))
+
+	// The default estimator is applied when none is named.
+	resp, body := getJSON(t, ts.URL+"/v1/estimate/sum?func=rg")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default estimator status %d: %v", resp.StatusCode, body)
+	}
+	if body["estimator"] != "ustar" {
+		t.Errorf("default estimator = %v, want ustar", body["estimator"])
+	}
+	// Disallowed names are rejected.
+	resp, body = getJSON(t, ts.URL+"/v1/estimate/sum?func=rg&estimator=lstar")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("disallowed estimator status %d: %v", resp.StatusCode, body)
+	}
+	// /v1/stats advertises the allowed estimators.
+	resp, body = getJSON(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d: %v", resp.StatusCode, body)
+	}
+	names := body["estimators"].([]any)
+	if len(names) != 2 || names[0] != "ht" || names[1] != "ustar" {
+		t.Errorf("stats estimators = %v, want [ht ustar]", names)
 	}
 }

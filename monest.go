@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/estreg"
 	"repro/internal/funcs"
 	"repro/internal/graph"
 	"repro/internal/order"
@@ -170,6 +171,36 @@ type (
 
 // NewEngine returns an empty streaming sketch engine.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// Estimator registry — the pluggable estimator zoo of the serving path
+// (internal/estreg): every batch estimator servable by name from a
+// streaming snapshot, with room for custom registrations.
+type (
+	// EstimatorRegistry maps names ("lstar", "ustar", "ht", "voptimal",
+	// "order:<spec>") to estimator constructors.
+	EstimatorRegistry = estreg.Registry
+	// BuiltEstimator is a per-item estimator bound to one item function.
+	BuiltEstimator = estreg.Estimator
+	// EstimatorMeta carries a built estimator's guarantees (unbiasedness,
+	// competitiveness ratio, construction note).
+	EstimatorMeta = estreg.Meta
+	// EstimatorBuilder constructs estimators for custom registrations.
+	EstimatorBuilder = estreg.Builder
+	// EstimatorSum aggregates per-item estimates over a snapshot.
+	EstimatorSum = estreg.SumResult
+)
+
+// DefaultEstimators returns a registry with every built-in estimator.
+func DefaultEstimators() *EstimatorRegistry { return estreg.Default() }
+
+// NewEstimatorRegistry returns an empty registry for custom builds.
+func NewEstimatorRegistry() *EstimatorRegistry { return estreg.New() }
+
+// SumEstimates applies a built estimator to the selected outcomes
+// (nil = all) and aggregates exactly like CoordinatedSample.EstimateSum.
+func SumEstimates(est BuiltEstimator, outcomes []TupleOutcome, items []int) (EstimatorSum, error) {
+	return estreg.Sum(est, outcomes, items)
+}
 
 // StringKey maps a string item key into the engine's uint64 key space,
 // consistently with SeedHash.UString.

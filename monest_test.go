@@ -140,3 +140,60 @@ func TestFacadeOrderOptimal(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeEstimatorRegistry(t *testing.T) {
+	data, err := repro.NewDataset(nil, [][]float64{{1, 0.5, 0.2}, {0.9, 0.6, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := repro.SampleBottomK(data, 2, repro.NewSeedHash(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := repro.NewRG(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := repro.DefaultEstimators()
+	est, meta, err := reg.Build("lstar", f, data.R())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.Unbiased || meta.CompetitiveRatio != 4 {
+		t.Errorf("lstar meta = %+v", meta)
+	}
+	got, err := repro.SumEstimates(est, sample.Outcomes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sample.EstimateSum(f, repro.KindLStar, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate != want {
+		t.Errorf("registry sum %g != batch %g", got.Estimate, want)
+	}
+	// A ≺-customized estimator builds from a spec string alone.
+	if _, _, err := reg.Build("order:vals=0.2,0.5,1;by=desc", f, data.R()); err != nil {
+		t.Fatal(err)
+	}
+	// Custom registration through the exported builder type.
+	custom := repro.NewEstimatorRegistry()
+	if err := custom.Register("zero", func(string, repro.F, int) (repro.BuiltEstimator, repro.EstimatorMeta, error) {
+		return zeroEstimator{}, repro.EstimatorMeta{Estimator: "zero"}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	zest, _, err := custom.Build("zero", f, data.R())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum, err := repro.SumEstimates(zest, sample.Outcomes, nil); err != nil || sum.Estimate != 0 {
+		t.Errorf("custom estimator sum = %+v, err %v", sum, err)
+	}
+}
+
+type zeroEstimator struct{}
+
+func (zeroEstimator) Name() string                                 { return "zero" }
+func (zeroEstimator) Estimate(repro.TupleOutcome) (float64, error) { return 0, nil }
