@@ -1,10 +1,12 @@
 # Single source of truth for build/test/bench/lint invocations: CI jobs
 # (.github/workflows/ci.yml) and local runs call the same targets.
 
-GO        ?= go
-BENCH_OUT ?= BENCH_local.json
+GO             ?= go
+BENCH_OUT      ?= BENCH_local.json
+BENCH_BASELINE ?= BENCH_baseline.json
+BENCH_HEAD     ?= BENCH_head.json
 
-.PHONY: build test race bench lint
+.PHONY: build test race bench benchcmp lint
 
 build:
 	$(GO) build ./...
@@ -21,6 +23,29 @@ race:
 bench:
 	$(GO) test -json -run xxx -bench . -benchtime 1x ./internal/engine/ ./internal/server/ > $(BENCH_OUT)
 	@echo "benchmark results written to $(BENCH_OUT)"
+
+# Compares a bench run against the committed baseline
+# (BENCH_baseline.json), so the BENCH_* trajectory is comparable
+# PR-over-PR. Runs the suite unless BENCH_HEAD points at an existing
+# artifact (CI passes the BENCH_<sha>.json it just produced, avoiding a
+# duplicate run and making the comparison describe the uploaded
+# artifact). Uses benchstat when installed
+# (go install golang.org/x/perf/cmd/benchstat@latest); falls back to a
+# plain diff otherwise. cmd/benchtext converts the test2json artifacts
+# into the text format benchstat reads.
+benchcmp:
+ifeq ($(BENCH_HEAD),BENCH_head.json)
+	$(MAKE) bench BENCH_OUT=$(BENCH_HEAD)
+endif
+	$(GO) run ./cmd/benchtext $(BENCH_BASELINE) > BENCH_baseline.txt
+	$(GO) run ./cmd/benchtext $(BENCH_HEAD) > BENCH_head.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat BENCH_baseline.txt BENCH_head.txt; \
+	else \
+		echo "benchstat not found; install with: go install golang.org/x/perf/cmd/benchstat@latest"; \
+		echo "--- baseline vs head (plain diff) ---"; \
+		diff -u BENCH_baseline.txt BENCH_head.txt || true; \
+	fi
 
 lint:
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \

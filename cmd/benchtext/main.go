@@ -1,0 +1,121 @@
+// Command benchtext converts `go test -json` benchmark output — the
+// format of the committed BENCH_baseline.json and the CI BENCH_<sha>.json
+// artifacts — back into the standard benchmark text format that
+// benchstat consumes, so `make benchcmp` can diff any two artifacts:
+//
+//	benchtext BENCH_baseline.json > baseline.txt
+//	benchtext BENCH_head.json > head.txt
+//	benchstat baseline.txt head.txt
+//
+// With no arguments it reads test2json lines from stdin. Only the lines
+// benchstat understands are emitted: the goos/goarch/pkg/cpu header and
+// benchmark result lines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// event is the subset of test2json's record benchtext needs.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// resultLine matches a benchmark result: name, iteration count, then at
+// least one metric. Bare name announcements ("BenchmarkIngest") carry no
+// fields and are skipped — benchstat warns on them.
+var resultLine = regexp.MustCompile(`^Benchmark\S+(-\d+)?\s+\d+\s`)
+
+func isBenchText(line string) bool {
+	for _, p := range []string{"goos: ", "goarch: ", "pkg: ", "cpu: "} {
+		if strings.HasPrefix(line, p) {
+			return true
+		}
+	}
+	return resultLine.MatchString(line)
+}
+
+func convert(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	// A benchmark's name and its result reach test2json as separate
+	// Output fragments of one logical line ("BenchmarkX-8 \t" then
+	// "  123\t 456 ns/op\n"), so fragments accumulate per package until a
+	// newline completes the line. Packages may run in parallel with their
+	// events interleaved, so completed lines are buffered per package and
+	// emitted grouped at the end — benchstat matches rows by the nearest
+	// preceding pkg/goos/cpu header block, which interleaving would
+	// scramble.
+	pending := make(map[string]string)
+	lines := make(map[string][]string)
+	var order []string
+	collect := func(pkg, frag string) {
+		if _, seen := pending[pkg]; !seen {
+			order = append(order, pkg)
+		}
+		buf := pending[pkg] + frag
+		for {
+			nl := strings.IndexByte(buf, '\n')
+			if nl < 0 {
+				break
+			}
+			if line := buf[:nl]; isBenchText(line) {
+				lines[pkg] = append(lines[pkg], line)
+			}
+			buf = buf[nl+1:]
+		}
+		pending[pkg] = buf
+	}
+	for sc.Scan() {
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			// Tolerate stray non-JSON lines (e.g. a concatenation of
+			// artifacts with plain-text separators).
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		collect(ev.Package, ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, pkg := range order {
+		for _, line := range lines[pkg] {
+			fmt.Fprintln(w, line)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := convert(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtext:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtext:", err)
+			os.Exit(1)
+		}
+		err = convert(f, os.Stdout)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtext: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}

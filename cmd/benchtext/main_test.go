@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConvertExtractsBenchLines(t *testing.T) {
+	in := strings.Join([]string{
+		`{"Action":"start","Package":"repro/internal/engine"}`,
+		`{"Action":"output","Package":"repro/internal/engine","Output":"goos: linux\n"}`,
+		`{"Action":"output","Package":"repro/internal/engine","Output":"cpu: Intel(R) Xeon(R)\n"}`,
+		`{"Action":"output","Package":"repro/internal/engine","Output":"BenchmarkIngest\n"}`,
+		// Name and result split across fragments, interleaved with another
+		// package's fragment — the test2json shape that must reassemble.
+		`{"Action":"output","Package":"repro/internal/engine","Output":"BenchmarkIngest-8   \t"}`,
+		`{"Action":"output","Package":"repro/internal/server","Output":"BenchmarkQueryCached-8 \t"}`,
+		`{"Action":"output","Package":"repro/internal/engine","Output":"  123456\t      9876 ns/op\t       0 B/op\t       0 allocs/op\n"}`,
+		`{"Action":"output","Package":"repro/internal/server","Output":"  999\t      11836 ns/op\n"}`,
+		`{"Action":"output","Package":"repro/internal/engine","Output":"PASS\n"}`,
+		`not json at all`,
+		`{"Action":"pass","Package":"repro/internal/engine"}`,
+	}, "\n")
+	var out strings.Builder
+	if err := convert(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"goos: linux\n", "cpu: Intel(R) Xeon(R)\n", "9876 ns/op", "11836 ns/op"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Bare name announcements and PASS lines would make benchstat warn.
+	if strings.Contains(got, "BenchmarkIngest\n") {
+		t.Errorf("bare benchmark name leaked:\n%s", got)
+	}
+	if strings.Contains(got, "PASS") {
+		t.Errorf("PASS line leaked:\n%s", got)
+	}
+	// Interleaved packages must come out grouped (benchstat matches rows
+	// by the nearest preceding header block): all engine lines before the
+	// server line, since engine appeared first.
+	if ei, si := strings.Index(got, "9876 ns/op"), strings.Index(got, "11836 ns/op"); ei > si {
+		t.Errorf("package output interleaved (engine at %d, server at %d):\n%s", ei, si, got)
+	}
+}

@@ -6,10 +6,17 @@
 //
 //	monestd [-addr :8080] [-instances 2] [-k 64] [-shards 16] [-salt 1]
 //	        [-default-estimator lstar] [-estimators lstar,ustar,ht,...]
+//	        [-snapshot-max-stale 0s]
 //
 // -default-estimator names the registry estimator used when a request
 // does not name one; -estimators is an optional comma-separated allowlist
 // of registry base names (empty = every registered estimator servable).
+// -snapshot-max-stale bounds how old a cached sketch snapshot may be
+// served while writes keep arriving (e.g. 250ms): reads then reuse the
+// last reduced snapshot within the bound instead of re-reducing per
+// request. 0 (the default) serves every read from an exact cut — which
+// still costs nothing when no ingest intervened, thanks to the engine's
+// versioned snapshot cache.
 //
 // Example session:
 //
@@ -55,15 +62,19 @@ func main() {
 	salt := flag.Uint64("salt", 1, "seed-hash salt (writers sharing it stay coordinated)")
 	defaultEst := flag.String("default-estimator", "lstar", "registry estimator used when a request names none")
 	allow := flag.String("estimators", "", "comma-separated allowlist of estimator base names (empty = all registered)")
+	maxStale := flag.Duration("snapshot-max-stale", 0, "serve cached snapshots up to this old under write load (0 = always exact)")
 	flag.Parse()
 
-	if err := run(*addr, *instances, *k, *shards, *salt, *defaultEst, *allow); err != nil {
+	if err := run(*addr, *instances, *k, *shards, *salt, *defaultEst, *allow, *maxStale); err != nil {
 		fmt.Fprintln(os.Stderr, "monestd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, instances, k, shards int, salt uint64, defaultEst, allow string) error {
+func run(addr string, instances, k, shards int, salt uint64, defaultEst, allow string, maxStale time.Duration) error {
+	if maxStale < 0 {
+		return fmt.Errorf("-snapshot-max-stale %v must be nonnegative", maxStale)
+	}
 	eng, err := engine.New(engine.Config{
 		Instances: instances,
 		K:         k,
@@ -102,8 +113,12 @@ func run(addr string, instances, k, shards int, salt uint64, defaultEst, allow s
 	}
 	logger := log.New(os.Stderr, "monestd: ", log.LstdFlags)
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           server.NewWith(eng, server.Config{Registry: reg, DefaultEstimator: defaultEst}),
+		Addr: addr,
+		Handler: server.NewWith(eng, server.Config{
+			Registry:         reg,
+			DefaultEstimator: defaultEst,
+			SnapshotMaxStale: maxStale,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -112,8 +127,8 @@ func run(addr string, instances, k, shards int, salt uint64, defaultEst, allow s
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (instances=%d k=%d shards=%d salt=%d)",
-			addr, instances, k, shards, salt)
+		logger.Printf("listening on %s (instances=%d k=%d shards=%d salt=%d snapshot-max-stale=%v)",
+			addr, instances, k, shards, salt, maxStale)
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -25,7 +25,7 @@ func freeAddr(t *testing.T) string {
 func TestRunServesAndShutsDownGracefully(t *testing.T) {
 	addr := freeAddr(t)
 	done := make(chan error, 1)
-	go func() { done <- run(addr, 2, 8, 4, 1, "lstar", "") }()
+	go func() { done <- run(addr, 2, 8, 4, 1, "lstar", "", 50*time.Millisecond) }()
 
 	// Wait for the listener, then exercise one ingest + one estimate.
 	url := "http://" + addr
@@ -81,23 +81,26 @@ func TestRunServesAndShutsDownGracefully(t *testing.T) {
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run("127.0.0.1:0", 0, 8, 4, 1, "lstar", ""); err == nil {
+	if err := run("127.0.0.1:0", 0, 8, 4, 1, "lstar", "", 0); err == nil {
 		t.Error("zero instances should fail")
 	}
-	if err := run("127.0.0.1:0", 2, 0, 4, 1, "lstar", ""); err == nil {
+	if err := run("127.0.0.1:0", 2, 0, 4, 1, "lstar", "", 0); err == nil {
 		t.Error("zero k should fail")
 	}
-	if err := run("127.0.0.1:0", 2, 8, 4, 1, "nope", ""); err == nil {
+	if err := run("127.0.0.1:0", 2, 8, 4, 1, "nope", "", 0); err == nil {
 		t.Error("unknown default estimator should fail")
 	}
-	if err := run("127.0.0.1:0", 2, 8, 4, 1, "lstar", "lstar,bogus"); err == nil {
+	if err := run("127.0.0.1:0", 2, 8, 4, 1, "lstar", "lstar,bogus", 0); err == nil {
 		t.Error("unknown allowlist entry should fail")
 	}
-	if err := run("127.0.0.1:0", 2, 8, 4, 1, "ustar", "lstar,ht"); err == nil {
+	if err := run("127.0.0.1:0", 2, 8, 4, 1, "ustar", "lstar,ht", 0); err == nil {
 		t.Error("default estimator outside the allowlist should fail")
 	}
-	if err := run("127.0.0.1:0", 2, 8, 4, 1, "lstar", " , "); err == nil {
+	if err := run("127.0.0.1:0", 2, 8, 4, 1, "lstar", " , ", 0); err == nil {
 		t.Error("blank-but-set allowlist should fail, not clear the restriction")
+	}
+	if err := run("127.0.0.1:0", 2, 8, 4, 1, "lstar", "", -time.Second); err == nil {
+		t.Error("negative snapshot-max-stale should fail")
 	}
 }
 
@@ -107,7 +110,7 @@ func TestRunRejectsBusyAddress(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if err := run(l.Addr().String(), 2, 8, 4, 1, "lstar", ""); err == nil {
+	if err := run(l.Addr().String(), 2, 8, 4, 1, "lstar", "", 0); err == nil {
 		t.Error("busy address should fail")
 	}
 }

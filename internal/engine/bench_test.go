@@ -105,6 +105,43 @@ func BenchmarkSnapshot(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotArena measures one fresh arena reduction at the query
+// benchmarks' scale (16k keys): the floor a cache-missing read pays. The
+// arena pipeline backs all outcome slices with two shared arrays and
+// interns the repeated tau-vectors, so allocs/op stays O(1) in the item
+// count.
+func BenchmarkSnapshotArena(b *testing.B) {
+	e := newBenchEngine(b, 64)
+	if err := e.IngestBatch(benchUpdates(1 << 14)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Snapshot()
+	}
+}
+
+// BenchmarkSnapshotCached measures the steady-state read path: no ingest
+// intervenes, so every call is an atomic cache load plus a lock-free
+// version check — zero shard locks, zero reduction, zero allocations.
+func BenchmarkSnapshotCached(b *testing.B) {
+	e := newBenchEngine(b, 64)
+	if err := e.IngestBatch(benchUpdates(1 << 14)); err != nil {
+		b.Fatal(err)
+	}
+	if snap, _ := e.CachedSnapshot(0); len(snap.Keys) == 0 {
+		b.Fatal("empty snapshot")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap, _ := e.CachedSnapshot(0); len(snap.Keys) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
 // BenchmarkQuerySum measures end-to-end query latency: snapshot plus an
 // L* sum estimate, the hot path of GET /v1/estimate/sum.
 func BenchmarkQuerySum(b *testing.B) {

@@ -3,11 +3,9 @@ package engine
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/dataset"
 	"repro/internal/sampling"
 )
 
@@ -41,6 +39,14 @@ type Engine struct {
 	maskWords int
 	shards    []*shard
 	ingests   atomic.Uint64
+	// cache is the last reduced snapshot with the version it was cut at;
+	// CachedSnapshot serves it lock-free while the version holds, and
+	// rebuildMu single-flights cache-miss rebuilds.
+	cache     atomic.Pointer[snapshotCacheEntry]
+	rebuildMu sync.Mutex
+	// batch pools IngestBatch's shard-bucketing scratch (counts + reordered
+	// updates) so steady-state batches allocate nothing.
+	batch sync.Pool
 }
 
 // New validates the configuration and returns an empty engine.
@@ -79,7 +85,8 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Ingest folds one observation into the sketches under max-weight
 // semantics. Negative, NaN or infinite weights are rejected; zero weights
-// are accepted no-ops (a zero entry is never sampled).
+// are accepted no-ops (a zero entry is never sampled) that leave the
+// engine version unchanged, so cached snapshots stay valid.
 func (e *Engine) Ingest(instance int, key uint64, weight float64) error {
 	if err := e.check(instance, weight); err != nil {
 		return err
@@ -89,39 +96,113 @@ func (e *Engine) Ingest(instance int, key uint64, weight float64) error {
 	}
 	sh := e.shards[e.shardOf(key)]
 	sh.mu.Lock()
-	sh.ingest(e, instance, key, weight)
-	sh.mu.Unlock()
+	// Counters bump under the shard lock so a consistent cut (Snapshot,
+	// Stats) reads version and traffic exactly as of the cut. Version
+	// counts mutations only; Ingests counts accepted operations.
+	if sh.ingest(e, instance, key, weight) {
+		sh.muts.Add(1)
+	}
 	e.ingests.Add(1)
+	sh.mu.Unlock()
 	return nil
+}
+
+// batchScratch is IngestBatch's reusable bucketing state: per-shard counts
+// doubling as fill cursors, and the shard-ordered copy of the batch.
+type batchScratch struct {
+	counts []int
+	buf    []Update
 }
 
 // IngestBatch folds a batch of observations, taking each shard lock at
 // most once. The batch is validated up front and applied atomically per
-// shard (not across shards).
+// shard (not across shards). Bucketing is a two-pass slice scheme (count
+// per shard, then fill a shard-ordered copy) over pooled scratch, so the
+// steady state allocates nothing.
 func (e *Engine) IngestBatch(updates []Update) error {
 	for j, u := range updates {
 		if err := e.check(u.Instance, u.Weight); err != nil {
 			return fmt.Errorf("engine: update %d: %w", j, err)
 		}
 	}
-	byShard := make(map[int][]Update, len(e.shards))
+	sc, _ := e.batch.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	defer e.batch.Put(sc)
+	ns := len(e.shards)
+	if cap(sc.counts) < ns {
+		sc.counts = make([]int, ns)
+	}
+	counts := sc.counts[:ns]
+	clear(counts)
+
+	nonzero := 0
+	for _, u := range updates {
+		if u.Weight == 0 {
+			continue
+		}
+		counts[e.shardOf(u.Key)]++
+		nonzero++
+	}
+	if nonzero == 0 {
+		return nil
+	}
+	if cap(sc.buf) < nonzero {
+		sc.buf = make([]Update, nonzero)
+	}
+	buf := sc.buf[:nonzero]
+	// counts[s] becomes shard s's segment start, then serves as the fill
+	// cursor; after the fill pass it is the segment end (= next start).
+	start := 0
+	for s, c := range counts {
+		counts[s] = start
+		start += c
+	}
 	for _, u := range updates {
 		if u.Weight == 0 {
 			continue
 		}
 		s := e.shardOf(u.Key)
-		byShard[s] = append(byShard[s], u)
+		buf[counts[s]] = u
+		counts[s]++
 	}
-	for s, batch := range byShard {
+	lo := 0
+	for s := 0; s < ns; s++ {
+		hi := counts[s]
+		if hi == lo {
+			continue
+		}
 		sh := e.shards[s]
 		sh.mu.Lock()
-		for _, u := range batch {
-			sh.ingest(e, u.Instance, u.Key, u.Weight)
+		muts := uint64(0)
+		for _, u := range buf[lo:hi] {
+			if sh.ingest(e, u.Instance, u.Key, u.Weight) {
+				muts++
+			}
 		}
+		sh.muts.Add(muts)
+		e.ingests.Add(uint64(hi - lo))
 		sh.mu.Unlock()
-		e.ingests.Add(uint64(len(batch)))
+		lo = hi
 	}
 	return nil
+}
+
+// Version is the engine's mutation version: the total count of ingest
+// operations that changed snapshot-visible state, summed from per-shard
+// counters that bump under their shard lock. It is monotone, and equal
+// versions across two reads guarantee no mutation completed in between —
+// the invariant the snapshot cache rests on. Zero-weight no-ops, rejected
+// updates and dominated duplicates (max semantics: a weight at or below
+// the retained one) never bump it, so such traffic keeps serving the
+// cached snapshot.
+func (e *Engine) Version() uint64 {
+	var v uint64
+	for _, sh := range e.shards {
+		v += sh.muts.Load()
+	}
+	return v
 }
 
 func (e *Engine) check(instance int, weight float64) error {
@@ -144,112 +225,10 @@ func (e *Engine) shardOf(key uint64) int {
 	return int(x % uint64(len(e.shards)))
 }
 
-// Snapshot is a consistent cut of the engine reduced to per-item monotone
-// outcomes — the streaming equivalent of dataset.SampleBottomK's result.
-type Snapshot struct {
-	// Keys holds every ingested item key in ascending order, parallel to
-	// Sample.Outcomes.
-	Keys []uint64
-	// Sample carries the outcomes and the storage bookkeeping; every
-	// outcome estimator (L*, U*, HT, Jaccard) applies to it unmodified.
-	Sample dataset.CoordinatedSample
-}
-
-// Snapshot reduces the live sketches to per-item outcomes via the shared
-// conditional-threshold reduction (footnote 1). For any arrival order and
-// any max-dominated duplicates, the result is bit-identical to
-// dataset.SampleBottomK on the aggregated weight matrix — provided the
-// item keys are the matrix's column indices 0..n-1, since the batch
-// sampler seeds item k with hash.U(uint64(k)). Sparse or string-hashed
-// keys yield the same reduction over their own seed set. All shards are
-// locked for the duration, giving writers a brief pause but an exactly
-// consistent cut.
-func (e *Engine) Snapshot() Snapshot {
-	for _, sh := range e.shards {
-		sh.mu.Lock()
-	}
-	defer func() {
-		for _, sh := range e.shards {
-			sh.mu.Unlock()
-		}
-	}()
-
-	r, k := e.cfg.Instances, e.cfg.K
-	total := 0
-	for _, sh := range e.shards {
-		total += len(sh.items)
-	}
-	keys := make([]uint64, 0, total)
-	seeds := make(map[uint64]float64, total)
-	activeEntries := 0
-	for _, sh := range e.shards {
-		for key, it := range sh.items {
-			keys = append(keys, key)
-			seeds[key] = it.seed
-		}
-		activeEntries += sh.activeEntries
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-
-	// Per instance: the k+1 smallest ranks over all shards, and the
-	// retained (rank, weight) of each sketched item.
-	smallest := make([][]float64, r)
-	retained := make([]map[uint64]bkEntry, r)
-	for i := 0; i < r; i++ {
-		var ranks []float64
-		retained[i] = make(map[uint64]bkEntry)
-		for _, sh := range e.shards {
-			for _, en := range sh.heaps[i].es {
-				ranks = append(ranks, en.rank)
-				retained[i][en.key] = en
-			}
-		}
-		smallest[i] = sampling.KSmallest(ranks, k+1)
-	}
-
-	snap := Snapshot{
-		Keys:   keys,
-		Sample: dataset.CoordinatedSample{Outcomes: make([]sampling.TupleOutcome, len(keys))},
-	}
-	snap.Sample.TotalEntries = activeEntries
-	tuple := make([]float64, r)
-	for j, key := range keys {
-		tau := make([]float64, r)
-		for i := 0; i < r; i++ {
-			rank := math.Inf(1)
-			tuple[i] = 0
-			if en, ok := retained[i][key]; ok {
-				rank = en.rank
-				tuple[i] = en.weight
-			}
-			tau[i] = sampling.TauFromThreshold(sampling.CondThreshold(smallest[i], k, rank))
-		}
-		scheme, err := sampling.NewTupleScheme(tau)
-		if err != nil {
-			// Unreachable: ranks are positive, so every tau is positive
-			// and finite.
-			panic(fmt.Sprintf("engine: item %d scheme: %v", key, err))
-		}
-		o := scheme.Sample(tuple, seeds[key])
-		snap.Sample.Outcomes[j] = o
-		snap.Sample.SampledEntries += o.NumKnown()
-	}
-	return snap
-}
-
-// Index returns the position of key in Keys (and hence in
-// Sample.Outcomes), or false when the key was never ingested. Keys is
-// sorted ascending, so this is a binary search — the query layer resolves
-// per-query item selections against one shared snapshot with it.
-func (s Snapshot) Index(key uint64) (int, bool) {
-	i := sort.Search(len(s.Keys), func(i int) bool { return s.Keys[i] >= key })
-	if i < len(s.Keys) && s.Keys[i] == key {
-		return i, true
-	}
-	return 0, false
-}
-
-// Stats summarizes the engine's contents and traffic.
+// Stats summarizes the engine's contents and traffic. It is a consistent
+// cut: Stats takes the same all-shard lock cut as Snapshot, so the counts
+// describe one engine state (Keys, ActiveEntries, RetainedEntries,
+// Ingests and Version all agree with each other).
 type Stats struct {
 	// Instances, K and Shards echo the configuration.
 	Instances int `json:"instances"`
@@ -265,32 +244,48 @@ type Stats struct {
 	RetainedEntries int `json:"retained_entries"`
 	// Ingests counts accepted non-zero ingest operations.
 	Ingests uint64 `json:"ingests"`
+	// Version is the engine's mutation version as of the cut (see
+	// Engine.Version).
+	Version uint64 `json:"version"`
 }
 
-// Stats returns a point-in-time summary.
+// Stats returns a point-in-time summary. All shard locks are held while
+// the counters are read, so the summary is one exactly consistent cut —
+// never, say, a key counted in one shard while its entries are missed in
+// another.
 func (e *Engine) Stats() Stats {
 	st := Stats{
 		Instances: e.cfg.Instances,
 		K:         e.cfg.K,
 		Shards:    e.cfg.Shards,
-		Ingests:   e.ingests.Load(),
 	}
 	for _, sh := range e.shards {
 		sh.mu.Lock()
+	}
+	// Ingests and the version counters bump under shard locks, so reading
+	// them inside the cut keeps them consistent with the content counts.
+	st.Ingests = e.ingests.Load()
+	for _, sh := range e.shards {
+		st.Version += sh.muts.Load()
 		st.Keys += len(sh.items)
 		st.ActiveEntries += sh.activeEntries
 		for i := range sh.heaps {
 			st.RetainedEntries += len(sh.heaps[i].es)
 		}
+	}
+	for _, sh := range e.shards {
 		sh.mu.Unlock()
 	}
 	return st
 }
 
 // shard is one lock stripe: the items routed to it and its slice of every
-// instance's bottom-(k+1) heap.
+// instance's bottom-(k+1) heap. muts counts the shard's accepted non-zero
+// ingests; it bumps under mu so that consistent cuts read it exactly, and
+// is summed lock-free by Engine.Version.
 type shard struct {
 	mu            sync.Mutex
+	muts          atomic.Uint64
 	items         map[uint64]*item
 	heaps         []bkHeap
 	activeEntries int
@@ -305,17 +300,26 @@ type item struct {
 	mask []uint64
 }
 
-func (sh *shard) ingest(e *Engine, instance int, key uint64, w float64) {
+// ingest folds one observation into the shard and reports whether any
+// snapshot-visible state changed (registry bitmask or sketch heap). A
+// dominated duplicate changes nothing and must not bump the mutation
+// counter, so cached snapshots survive duplicate-heavy streams.
+func (sh *shard) ingest(e *Engine, instance int, key uint64, w float64) bool {
 	it, ok := sh.items[key]
 	if !ok {
 		it = &item{seed: e.cfg.Hash.U(key), mask: make([]uint64, e.maskWords)}
 		sh.items[key] = it
 	}
+	mutated := false
 	word, bit := instance/64, uint64(1)<<(instance%64)
 	if it.mask[word]&bit == 0 {
 		it.mask[word] |= bit
 		sh.activeEntries++
+		mutated = true
 	}
 	rank := sampling.Rank(sampling.RankPriority, it.seed, w)
-	sh.heaps[instance].update(key, w, rank)
+	if sh.heaps[instance].update(key, w, rank) {
+		mutated = true
+	}
+	return mutated
 }

@@ -26,30 +26,33 @@ func newBKHeap(cap int) bkHeap {
 // key keeps its largest weight (= smallest rank); a new key is admitted if
 // there is room or it outranks the current eviction candidate. Ranks only
 // decrease over an entry's lifetime, so eviction is permanent unless the
-// key itself later arrives with a larger weight.
-func (h *bkHeap) update(key uint64, w, rank float64) {
+// key itself later arrives with a larger weight. It reports whether the
+// heap changed — dominated duplicates and non-admitted keys are no-ops
+// that must not invalidate cached snapshots.
+func (h *bkHeap) update(key uint64, w, rank float64) bool {
 	if i, ok := h.pos[key]; ok {
 		if w <= h.es[i].weight {
-			return
+			return false
 		}
 		h.es[i].weight = w
 		h.es[i].rank = rank
 		h.down(i) // rank decreased: sink in the max-heap
-		return
+		return true
 	}
 	if len(h.es) < h.cap {
 		h.es = append(h.es, bkEntry{key: key, weight: w, rank: rank})
 		h.pos[key] = len(h.es) - 1
 		h.up(len(h.es) - 1)
-		return
+		return true
 	}
 	if rank >= h.es[0].rank {
-		return
+		return false
 	}
 	delete(h.pos, h.es[0].key)
 	h.es[0] = bkEntry{key: key, weight: w, rank: rank}
 	h.pos[key] = 0
 	h.down(0)
+	return true
 }
 
 func (h *bkHeap) up(i int) {

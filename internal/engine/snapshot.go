@@ -1,0 +1,378 @@
+package engine
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sampling"
+)
+
+// This file is the snapshot pipeline: the all-shard consistent cut, the
+// allocation-lean arena reduction of the cut to per-item monotone
+// outcomes, and the versioned snapshot cache that lets repeat reads skip
+// both. The reduction is bit-identical to dataset.SampleBottomK (the
+// equivalence tests enforce it), so everything here is pure mechanics —
+// no estimation semantics.
+
+// Snapshot is a consistent cut of the engine reduced to per-item monotone
+// outcomes — the streaming equivalent of dataset.SampleBottomK's result.
+//
+// A snapshot may be shared between concurrent readers (CachedSnapshot
+// returns the same value to everyone until the engine mutates), and its
+// outcome Known/Vals slices are sub-slices of two shared arena arrays:
+// treat the whole structure as immutable.
+type Snapshot struct {
+	// Keys holds every ingested item key in ascending order, parallel to
+	// Sample.Outcomes.
+	Keys []uint64
+	// Sample carries the outcomes and the storage bookkeeping; every
+	// outcome estimator (L*, U*, HT, Jaccard) applies to it unmodified.
+	Sample dataset.CoordinatedSample
+}
+
+// Index returns the position of key in Keys (and hence in
+// Sample.Outcomes), or false when the key was never ingested. Keys is
+// sorted ascending, so this is a binary search — the query layer resolves
+// per-query item selections against one shared snapshot with it.
+func (s Snapshot) Index(key uint64) (int, bool) {
+	i := sort.Search(len(s.Keys), func(i int) bool { return s.Keys[i] >= key })
+	if i < len(s.Keys) && s.Keys[i] == key {
+		return i, true
+	}
+	return 0, false
+}
+
+// snapshotCacheEntry is one published reduction: the snapshot, the
+// version it was cut at, and when the cut was taken (for bounded-staleness
+// serving).
+type snapshotCacheEntry struct {
+	version uint64
+	built   time.Time
+	snap    Snapshot
+}
+
+// Snapshot reduces the live sketches to per-item outcomes via the shared
+// conditional-threshold reduction (footnote 1). For any arrival order and
+// any max-dominated duplicates, the result is bit-identical to
+// dataset.SampleBottomK on the aggregated weight matrix — provided the
+// item keys are the matrix's column indices 0..n-1, since the batch
+// sampler seeds item k with hash.U(uint64(k)). Sparse or string-hashed
+// keys yield the same reduction over their own seed set.
+//
+// All shards are locked only while the sketch contents are copied out (a
+// consistent cut proportional to the sketch size); the reduction itself
+// runs lock-free on the copy, so writers stall for the copy, not the
+// math. The result is also published to the snapshot cache.
+func (e *Engine) Snapshot() Snapshot {
+	snap, _ := e.FreshSnapshot()
+	return snap
+}
+
+// FreshSnapshot is Snapshot plus the version the cut was taken at, read
+// under the same all-shard lock — the pair is always consistent, unlike a
+// Snapshot() followed by a separate Version() racing concurrent writers.
+// Callers keying memoized results by version must use this (or
+// CachedSnapshot), never the two-call sequence.
+func (e *Engine) FreshSnapshot() (Snapshot, uint64) {
+	return e.freshSnapshot()
+}
+
+// CachedSnapshot returns the engine's current snapshot, reusing the last
+// reduced one bit-identically when no mutation intervened: the fast path
+// is one atomic pointer load plus a lock-free version check — zero shard
+// locks, zero reduction work, zero allocations.
+//
+// maxStale > 0 relaxes exactness under sustained write load: a cached
+// snapshot whose cut is at most maxStale old is served even if the
+// version moved on, bounding how often writers force a re-reduction.
+// maxStale = 0 always serves an exact cut.
+//
+// The returned version identifies the cut the snapshot was taken at
+// (Engine.Version at cut time); callers memoizing derived results key
+// them by it. The snapshot is shared — treat it as immutable.
+func (e *Engine) CachedSnapshot(maxStale time.Duration) (Snapshot, uint64) {
+	if snap, version, ok := e.cachedHit(maxStale); ok {
+		return snap, version
+	}
+	// Single-flight the rebuild: when one mutation invalidates the cache
+	// under many concurrent readers, exactly one pays the reduction and
+	// the rest wait for its published result instead of each re-cutting
+	// the shards (which would also serialize writers N times over).
+	e.rebuildMu.Lock()
+	defer e.rebuildMu.Unlock()
+	if snap, version, ok := e.cachedHit(maxStale); ok {
+		return snap, version
+	}
+	return e.freshSnapshot()
+}
+
+// cachedHit returns the cached snapshot when it is current (or within the
+// staleness bound).
+func (e *Engine) cachedHit(maxStale time.Duration) (Snapshot, uint64, bool) {
+	c := e.cache.Load()
+	if c == nil {
+		return Snapshot{}, 0, false
+	}
+	if c.version == e.Version() {
+		return c.snap, c.version, true
+	}
+	if maxStale > 0 && time.Since(c.built) <= maxStale {
+		return c.snap, c.version, true
+	}
+	return Snapshot{}, 0, false
+}
+
+// freshSnapshot cuts, reduces and publishes a new snapshot.
+func (e *Engine) freshSnapshot() (Snapshot, uint64) {
+	cut := e.collect()
+	snap := cut.reduce(&e.cfg)
+	e.publish(&snapshotCacheEntry{version: cut.version, built: cut.at, snap: snap})
+	return snap, cut.version
+}
+
+// publish installs the entry unless a newer version is already cached.
+// Concurrent builders may finish out of order; keeping the highest
+// version means the cache only moves forward.
+func (e *Engine) publish(en *snapshotCacheEntry) {
+	for {
+		old := e.cache.Load()
+		if old != nil && old.version >= en.version {
+			return
+		}
+		if e.cache.CompareAndSwap(old, en) {
+			return
+		}
+	}
+}
+
+// engineCut is the raw data copied out of the shards under the all-shard
+// lock: everything reduce needs, nothing aliasing live engine state.
+// Seeds are not copied — they are pure functions of the key
+// (Config.Hash.U), recomputed during the reduction.
+type engineCut struct {
+	version       uint64
+	at            time.Time
+	activeEntries int
+	keys          []uint64    // unsorted item keys
+	retained      [][]bkEntry // per instance, all shards' heap entries, unsorted
+}
+
+// collect takes the consistent cut: all shard locks in index order, copy
+// out items and heap entries, read the version, release.
+func (e *Engine) collect() engineCut {
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+	}
+	cut := engineCut{at: time.Now(), retained: make([][]bkEntry, e.cfg.Instances)}
+	total := 0
+	for _, sh := range e.shards {
+		total += len(sh.items)
+	}
+	cut.keys = make([]uint64, 0, total)
+	for _, sh := range e.shards {
+		cut.version += sh.muts.Load()
+		cut.activeEntries += sh.activeEntries
+		for key := range sh.items {
+			cut.keys = append(cut.keys, key)
+		}
+	}
+	for i := range cut.retained {
+		n := 0
+		for _, sh := range e.shards {
+			n += len(sh.heaps[i].es)
+		}
+		ents := make([]bkEntry, 0, n)
+		for _, sh := range e.shards {
+			ents = append(ents, sh.heaps[i].es...)
+		}
+		cut.retained[i] = ents
+	}
+	for _, sh := range e.shards {
+		sh.mu.Unlock()
+	}
+	return cut
+}
+
+// instThresholds is one instance's precomputed conditional-threshold
+// branch: per item the PPS threshold τ* takes one of exactly two values,
+// chosen by whether the item's rank is among the instance's k smallest
+// (rank ≤ boundary). Precomputing both collapses the per-item
+// KSmallest/CondThreshold/TauFromThreshold chain to a comparison, and
+// makes scheme interning a per-instance bit.
+type instThresholds struct {
+	hasK     bool    // at least k ranks retained; otherwise every item is always included
+	boundary float64 // smallest[k-1]: the inclusion boundary rank
+	tauIn    float64 // τ* for rank ≤ boundary
+	tauOut   float64 // τ* for rank > boundary
+}
+
+func newInstThresholds(smallest []float64, k int) instThresholds {
+	// The two branch values come from the real reduction chain: rank 0 is
+	// always ≤ smallest[k-1] (ranks are positive) and +Inf never is, so
+	// these two probes exhaust CondThreshold's per-item behavior and
+	// bit-identity with the batch sampler holds by construction.
+	th := instThresholds{
+		tauIn:  sampling.TauFromThreshold(sampling.CondThreshold(smallest, k, 0)),
+		tauOut: sampling.TauFromThreshold(sampling.CondThreshold(smallest, k, math.Inf(1))),
+	}
+	if len(smallest) >= k {
+		th.hasK, th.boundary = true, smallest[k-1]
+	}
+	return th
+}
+
+// reduceParallelMin is the snapshot size (items × instances) below which
+// the reduction stays single-threaded — goroutine fan-out costs more than
+// it saves on small cuts.
+const reduceParallelMin = 1 << 13
+
+// reduceWorkers picks the reduction fan-out for a cut of cells = items ×
+// instances. A variable so tests can force multi-chunk reductions (and
+// their chunk-boundary cursor seeding) on single-CPU machines.
+var reduceWorkers = func(cells int) int {
+	w := runtime.GOMAXPROCS(0)
+	if cells < reduceParallelMin || w < 2 {
+		return 1
+	}
+	return w
+}
+
+// reduce turns the cut into outcomes. Layout over maps: keys and seeds
+// are parallel sorted slices, each instance's retained entries are a
+// key-sorted slice consumed by a merge walk, every outcome's Known/Vals
+// are sub-slices of two shared arena arrays (one []bool, one []float64,
+// each n·r), the few distinct τ*-vectors are interned so outcomes share
+// TupleScheme backing, and the per-item loop fans out across workers on
+// disjoint key ranges.
+func (cut *engineCut) reduce(cfg *Config) Snapshot {
+	r, k := cfg.Instances, cfg.K
+	n := len(cut.keys)
+	keys := cut.keys
+	slices.Sort(keys)
+
+	insts := make([]instThresholds, r)
+	var ranks []float64
+	for i := 0; i < r; i++ {
+		ents := cut.retained[i]
+		ranks = ranks[:0]
+		for _, en := range ents {
+			ranks = append(ranks, en.rank)
+		}
+		slices.SortFunc(ents, func(a, b bkEntry) int { return cmp.Compare(a.key, b.key) })
+		insts[i] = newInstThresholds(sampling.KSmallest(ranks, k+1), k)
+	}
+
+	snap := Snapshot{
+		Keys: keys,
+		Sample: dataset.CoordinatedSample{
+			Outcomes:     make([]sampling.TupleOutcome, n),
+			TotalEntries: cut.activeEntries,
+		},
+	}
+	if n == 0 {
+		return snap
+	}
+	knownArena := make([]bool, n*r)
+	valsArena := make([]float64, n*r)
+
+	workers := reduceWorkers(n * r)
+	chunk := (n + workers - 1) / workers
+	sampled := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sampled[w] = cut.reduceRange(cfg.Hash, insts, keys, snap.Sample.Outcomes, knownArena, valsArena, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, s := range sampled {
+		snap.Sample.SampledEntries += s
+	}
+	return snap
+}
+
+// reduceRange fills outcomes[lo:hi] and returns the number of sampled
+// entries in the range. Workers touch disjoint outcome and arena ranges,
+// so no synchronization is needed beyond the final join. Seeds are
+// recomputed from the keys (hash.U is the splitmix64 finalizer — cheaper
+// than carrying a second sorted array through the cut).
+func (cut *engineCut) reduceRange(hash sampling.SeedHash, insts []instThresholds, keys []uint64, outcomes []sampling.TupleOutcome, knownArena []bool, valsArena []float64, lo, hi int) int {
+	r := len(insts)
+	// cur[i] walks instance i's key-sorted retained entries in lockstep
+	// with the ascending key loop — the merge walk replacing per-item map
+	// lookups.
+	cur := make([]int, r)
+	for i := range cur {
+		ents := cut.retained[i]
+		first := keys[lo]
+		cur[i] = sort.Search(len(ents), func(x int) bool { return ents[x].key >= first })
+	}
+	tuple := make([]float64, r)
+	// branch[i] records which τ* branch item j takes in instance i; it is
+	// the intern key, so the (few, repeated) identical τ*-vectors share
+	// one TupleScheme allocation each.
+	branch := make([]byte, r)
+	schemes := make(map[string]sampling.TupleScheme, 4)
+	sampled := 0
+	for j := lo; j < hi; j++ {
+		key := keys[j]
+		for i := 0; i < r; i++ {
+			ents := cut.retained[i]
+			c := cur[i]
+			for c < len(ents) && ents[c].key < key {
+				c++
+			}
+			rank := math.Inf(1)
+			tuple[i] = 0
+			if c < len(ents) && ents[c].key == key {
+				rank = ents[c].rank
+				tuple[i] = ents[c].weight
+				c++
+			}
+			cur[i] = c
+			if insts[i].hasK && rank > insts[i].boundary {
+				branch[i] = 1
+			} else {
+				branch[i] = 0
+			}
+		}
+		scheme, ok := schemes[string(branch)]
+		if !ok {
+			tau := make([]float64, r)
+			for i := range tau {
+				if branch[i] == 1 {
+					tau[i] = insts[i].tauOut
+				} else {
+					tau[i] = insts[i].tauIn
+				}
+			}
+			var err error
+			scheme, err = sampling.NewTupleScheme(tau)
+			if err != nil {
+				// Unreachable: ranks are positive, so every tau is
+				// positive and finite.
+				panic(fmt.Sprintf("engine: item %d scheme: %v", key, err))
+			}
+			schemes[string(branch)] = scheme
+		}
+		base := j * r
+		o := scheme.SampleInto(tuple, hash.U(key), knownArena[base:base+r:base+r], valsArena[base:base+r:base+r])
+		outcomes[j] = o
+		sampled += o.NumKnown()
+	}
+	return sampled
+}

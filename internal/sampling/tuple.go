@@ -63,22 +63,34 @@ type TupleOutcome struct {
 // Sample draws the outcome of the tuple v at seed rho. The tuple length
 // must equal the scheme arity and rho must lie in (0, 1].
 func (s TupleScheme) Sample(v []float64, rho float64) TupleOutcome {
+	return s.SampleInto(v, rho, make([]bool, len(v)), make([]float64, len(v)))
+}
+
+// SampleInto draws the same outcome as Sample but writes the per-entry
+// knowledge into the caller-provided backing slices (each of length
+// len(v)) instead of allocating; the returned outcome aliases known and
+// vals. The streaming engine's snapshot reduction backs every outcome of
+// a snapshot with two shared arena arrays through it. Both paths share
+// this one loop, so arena-backed and allocated outcomes are bit-identical
+// by construction.
+func (s TupleScheme) SampleInto(v []float64, rho float64, known []bool, vals []float64) TupleOutcome {
 	if len(v) != s.R() {
 		panic(fmt.Sprintf("sampling: tuple arity %d != scheme arity %d", len(v), s.R()))
+	}
+	if len(known) != len(v) || len(vals) != len(v) {
+		panic(fmt.Sprintf("sampling: backing lengths %d/%d != tuple arity %d", len(known), len(vals), len(v)))
 	}
 	if rho <= 0 || rho > 1 {
 		panic(fmt.Sprintf("sampling: seed %g outside (0,1]", rho))
 	}
-	o := TupleOutcome{
-		Scheme: s,
-		Rho:    rho,
-		Known:  make([]bool, len(v)),
-		Vals:   make([]float64, len(v)),
-	}
+	o := TupleOutcome{Scheme: s, Rho: rho, Known: known, Vals: vals}
 	for i, w := range v {
 		if w >= s.Threshold(i, rho) && w > 0 {
-			o.Known[i] = true
-			o.Vals[i] = w
+			known[i] = true
+			vals[i] = w
+		} else {
+			known[i] = false
+			vals[i] = 0
 		}
 	}
 	return o

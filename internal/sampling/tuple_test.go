@@ -156,3 +156,43 @@ func TestZeroWeightNeverKnown(t *testing.T) {
 		}
 	}
 }
+
+func TestSampleIntoMatchesSample(t *testing.T) {
+	// SampleInto must produce bit-identical outcomes to Sample and fully
+	// overwrite dirty backing (the engine's arenas are reused snapshots'
+	// memory in spirit — no stale truth may leak through).
+	s, err := NewTupleScheme([]float64{1, 0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := []bool{true, true, true}
+	vals := []float64{9, 9, 9}
+	for _, tc := range []struct {
+		v   []float64
+		rho float64
+	}{
+		{[]float64{0.95, 0.15, 0.25}, 0.1},
+		{[]float64{0.95, 0.15, 0.25}, 0.9},
+		{[]float64{0, 0.5, 1}, 0.5},
+		{[]float64{0, 0, 0}, 1},
+	} {
+		want := s.Sample(tc.v, tc.rho)
+		got := s.SampleInto(tc.v, tc.rho, known, vals)
+		if !got.Same(want) {
+			t.Errorf("v=%v rho=%g: SampleInto %+v != Sample %+v", tc.v, tc.rho, got, want)
+		}
+		if &got.Known[0] != &known[0] || &got.Vals[0] != &vals[0] {
+			t.Error("SampleInto did not alias the provided backing")
+		}
+	}
+}
+
+func TestSampleIntoRejectsBadBacking(t *testing.T) {
+	s := UniformTuple(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched backing lengths should panic")
+		}
+	}()
+	s.SampleInto([]float64{1, 2}, 0.5, make([]bool, 1), make([]float64, 2))
+}

@@ -51,13 +51,64 @@ func do(b *testing.B, s *Server, method, target string, body []byte) {
 	}
 }
 
-// BenchmarkEstimateSumEndpoint measures the legacy single-estimate path:
-// one snapshot per request.
+// BenchmarkEstimateSumEndpoint measures the single-estimate alias path
+// under the default serving config (versioned snapshot cache + result
+// memo): repeat requests against an unchanged engine are pure lookups.
 func BenchmarkEstimateSumEndpoint(b *testing.B) {
 	s := newBenchServer(b, 1<<14)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		do(b, s, http.MethodGet, "/v1/estimate/sum?func=rg&p=1&estimator=lstar", nil)
+	}
+}
+
+// BenchmarkQueryCached is the acceptance benchmark for the versioned
+// snapshot cache: the steady-state cached read path (no intervening
+// ingest) takes no shard locks, re-reduces nothing and re-runs no
+// estimators — compare against the engine-level BenchmarkQuerySum, which
+// pays a fresh reduction plus a full L* sum per query.
+func BenchmarkQueryCached(b *testing.B) {
+	s := newBenchServer(b, 1<<14)
+	body := benchBatch(b)
+	b.Run("estimate_sum", func(b *testing.B) {
+		// Prime snapshot cache and memo: the measurement is the steady
+		// state, not the one-off reduction.
+		do(b, s, http.MethodGet, "/v1/estimate/sum?func=rg&p=1&estimator=lstar", nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			do(b, s, http.MethodGet, "/v1/estimate/sum?func=rg&p=1&estimator=lstar", nil)
+		}
+	})
+	b.Run("batched4", func(b *testing.B) {
+		do(b, s, http.MethodPost, "/v1/query", body)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			do(b, s, http.MethodPost, "/v1/query", body)
+		}
+		b.ReportMetric(4, "queries/op")
+	})
+}
+
+// BenchmarkQueryInvalidated measures the write-invalidated read path:
+// every iteration lands one real ingest, so each query pays the full
+// re-reduction and estimate — the upper bound the cache saves from, and
+// the regime the -snapshot-max-stale bound is for.
+func BenchmarkQueryInvalidated(b *testing.B) {
+	s := newBenchServer(b, 1<<14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Strictly growing weight on one hot key: always a real mutation.
+		ingest, err := json.Marshal(map[string]any{
+			"updates": []map[string]any{{"instance": 0, "key": "hot", "weight": float64(i + 1)}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		do(b, s, http.MethodPost, "/v1/ingest", ingest)
 		do(b, s, http.MethodGet, "/v1/estimate/sum?func=rg&p=1&estimator=lstar", nil)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"repro/internal/engine"
 	"repro/internal/estreg"
@@ -92,10 +94,33 @@ type snapshotInfo struct {
 type plannedQuery struct {
 	spec      querySpec
 	statistic string
+	planKey   string  // the planner cache key: statistic + estimator + func
 	f         funcs.F // sum only
 	est       estreg.Estimator
 	meta      estreg.Meta
 	orEst     estreg.Estimator // jaccard: est estimates AND, orEst OR
+}
+
+// memoKey canonicalizes the full query — plan plus selection — for the
+// per-version result memo. Key strings are quoted so no item name can
+// collide with the separators.
+func (q *plannedQuery) memoKey() string {
+	if len(q.spec.Keys) == 0 && len(q.spec.IDs) == 0 {
+		return q.planKey
+	}
+	var b strings.Builder
+	b.WriteString(q.planKey)
+	b.WriteString("\x00keys=")
+	for _, k := range q.spec.Keys {
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte(',')
+	}
+	b.WriteString("\x00ids=")
+	for _, id := range q.spec.IDs {
+		b.WriteString(strconv.FormatUint(id, 10))
+		b.WriteByte(',')
+	}
+	return b.String()
 }
 
 // planner resolves query specs against the server's registry, sharing
@@ -129,7 +154,7 @@ func (p *planner) plan(spec querySpec) (*plannedQuery, error) {
 	if q, ok := p.cache[key]; ok {
 		return q, nil
 	}
-	q := &plannedQuery{spec: spec, statistic: statistic}
+	q := &plannedQuery{spec: spec, statistic: statistic, planKey: key}
 	switch statistic {
 	case "sum":
 		f, err := sp.build()
@@ -293,14 +318,17 @@ func (s *Server) handleQuery(r *http.Request) (int, any, error) {
 		planned[i] = &bound
 	}
 
-	// One consistent cut, one conditional-threshold reduction, shared by
-	// every query in the batch.
-	snap := s.eng.Snapshot()
+	// One shared snapshot for the whole batch — served from the versioned
+	// cache, so a batch against an unchanged engine takes no shard locks
+	// and does no reduction work; repeated queries additionally resolve
+	// from the per-version result memo without re-running estimators.
+	snap, version := s.snaps.AcquireSnapshot()
+	memo := s.memoFor(version)
 	for i, q := range planned {
 		if q == nil {
 			continue // planning error already recorded
 		}
-		results[i] = q.eval(snap)
+		results[i] = s.evalMemoized(q, snap, memo)
 	}
 	return http.StatusOK, queryResponse{
 		Snapshot: snapshotInfo{

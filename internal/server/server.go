@@ -23,6 +23,13 @@
 // endpoints reject unknown query parameters, both with a structured
 // {"error": {"code", "message"}} body — a typo like "estimtor" is a 400,
 // never a silently ignored default.
+//
+// Every read endpoint answers from ONE SnapshotSource — by default the
+// engine's versioned snapshot cache — and a per-version result memo
+// (snapshot.go): while no ingest intervenes, repeat queries take no shard
+// locks, re-reduce nothing, and re-run no estimators. The Config's
+// SnapshotMaxStale bounds how stale a served snapshot may be under
+// sustained write load (0 = always exact).
 package server
 
 import (
@@ -57,6 +64,10 @@ type Server struct {
 	mux        *http.ServeMux
 	started    time.Time
 	metrics    map[string]*endpointMetrics
+	// snaps is the one snapshot source every read endpoint answers from;
+	// memo caches evaluated results per snapshot version (snapshot.go).
+	snaps SnapshotSource
+	memo  atomic.Pointer[resultMemo]
 }
 
 // Config customizes a server beyond its engine.
@@ -65,6 +76,15 @@ type Config struct {
 	Registry *estreg.Registry
 	// DefaultEstimator is used when a request names none. Default "lstar".
 	DefaultEstimator string
+	// Snapshots overrides the snapshot source feeding every read
+	// endpoint; nil means the engine's versioned snapshot cache bounded
+	// by SnapshotMaxStale.
+	Snapshots SnapshotSource
+	// SnapshotMaxStale bounds how old a cached snapshot may be served
+	// while writes are arriving (see engine.CachedSnapshot); 0 means
+	// every read reflects all completed ingests. Ignored when Snapshots
+	// is set.
+	SnapshotMaxStale time.Duration
 }
 
 // endpointMetrics counts one endpoint's traffic. Fields are atomics so
@@ -113,6 +133,9 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 	if cfg.DefaultEstimator == "" {
 		cfg.DefaultEstimator = "lstar"
 	}
+	if cfg.Snapshots == nil {
+		cfg.Snapshots = cachedSource{eng: eng, maxStale: cfg.SnapshotMaxStale}
+	}
 	s := &Server{
 		eng:        eng,
 		reg:        cfg.Registry,
@@ -120,6 +143,7 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 		mux:        http.NewServeMux(),
 		started:    time.Now(),
 		metrics:    make(map[string]*endpointMetrics),
+		snaps:      cfg.Snapshots,
 	}
 	s.route("POST /v1/ingest", s.handleIngest)
 	s.route("POST /v1/query", s.handleQuery)
@@ -324,8 +348,8 @@ func (s *Server) handleEstimateSum(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusBadRequest, nil, err
 	}
-	snap := s.eng.Snapshot()
-	res := plan.eval(snap)
+	snap, version := s.snaps.AcquireSnapshot()
+	res := s.evalMemoized(plan, snap, s.memoFor(version))
 	if res.Error != nil {
 		return res.status, nil, errors.New(res.Error.Message)
 	}
@@ -349,8 +373,8 @@ func (s *Server) handleEstimateJaccard(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusBadRequest, nil, err
 	}
-	snap := s.eng.Snapshot()
-	res := plan.eval(snap)
+	snap, version := s.snaps.AcquireSnapshot()
+	res := s.evalMemoized(plan, snap, s.memoFor(version))
 	if res.Error != nil {
 		return res.status, nil, errors.New(res.Error.Message)
 	}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// This file is the serving side of the engine's versioned snapshot cache:
+// one SnapshotSource feeds every endpoint, and a per-version result memo
+// turns repeat queries against an unchanged engine into pure lookups —
+// the steady-state read path takes no shard locks, does no snapshot
+// reduction and re-runs no estimators.
+
+// SnapshotSource yields the snapshot a request is answered from together
+// with the engine version the snapshot was cut at. All endpoints of a
+// Server share one source; the version keys the server's per-version
+// result memo, so a source must return versions that change whenever the
+// returned snapshot's contents do.
+type SnapshotSource interface {
+	AcquireSnapshot() (engine.Snapshot, uint64)
+}
+
+// cachedSource is the default source: the engine's lock-free versioned
+// snapshot cache, optionally serving a bounded-staleness snapshot under
+// sustained write load (the monestd -snapshot-max-stale flag).
+type cachedSource struct {
+	eng      *engine.Engine
+	maxStale time.Duration
+}
+
+func (c cachedSource) AcquireSnapshot() (engine.Snapshot, uint64) {
+	return c.eng.CachedSnapshot(c.maxStale)
+}
+
+// FreshSource returns a SnapshotSource that re-reduces a fresh snapshot
+// on every acquisition — the pre-cache behavior, kept for benchmarks and
+// tests that need an uncached baseline. The snapshot and version come
+// from one consistent cut (engine.FreshSnapshot); a separate Version()
+// call racing a writer could mislabel a pre-write snapshot with a
+// post-write version and poison the result memo.
+func FreshSource(eng *engine.Engine) SnapshotSource { return freshSource{eng} }
+
+type freshSource struct{ eng *engine.Engine }
+
+func (f freshSource) AcquireSnapshot() (engine.Snapshot, uint64) {
+	return f.eng.FreshSnapshot()
+}
+
+// maxMemoEntries caps one version's memo so an adversarial query stream
+// (unbounded distinct selections) cannot grow memory without bound;
+// beyond the cap, queries still evaluate — they just stop being recorded.
+const maxMemoEntries = 4096
+
+// resultMemo caches evaluated query results for ONE snapshot version.
+// Estimators are deterministic functions of the snapshot, so a (version,
+// query) pair fully determines the result; the memo is dropped wholesale
+// the first time a request is served from a newer version.
+type resultMemo struct {
+	version uint64
+	mu      sync.RWMutex
+	m       map[string]queryResult
+}
+
+func (mm *resultMemo) get(key string) (queryResult, bool) {
+	mm.mu.RLock()
+	r, ok := mm.m[key]
+	mm.mu.RUnlock()
+	return r, ok
+}
+
+func (mm *resultMemo) put(key string, r queryResult) {
+	mm.mu.Lock()
+	if len(mm.m) < maxMemoEntries {
+		mm.m[key] = r
+	}
+	mm.mu.Unlock()
+}
+
+// memoFor returns the memo for the given snapshot version, rotating the
+// server's current one when the version moved. Under bounded-staleness
+// serving, two versions can briefly alternate; the memo then degrades to
+// misses rather than ever serving a result across versions.
+func (s *Server) memoFor(version uint64) *resultMemo {
+	for {
+		m := s.memo.Load()
+		if m != nil && m.version == version {
+			return m
+		}
+		fresh := &resultMemo{version: version, m: make(map[string]queryResult)}
+		if s.memo.CompareAndSwap(m, fresh) {
+			return fresh
+		}
+	}
+}
+
+// evalMemoized answers q from the memo when the same (version, query) was
+// evaluated before, evaluating and recording it otherwise.
+func (s *Server) evalMemoized(q *plannedQuery, snap engine.Snapshot, memo *resultMemo) queryResult {
+	key := q.memoKey()
+	if r, ok := memo.get(key); ok {
+		return r
+	}
+	r := q.eval(snap)
+	memo.put(key, r)
+	return r
+}

@@ -155,7 +155,10 @@ func JaccardEstimate(outcomes []TupleOutcome) float64 { return funcs.JaccardEsti
 // cmd/monestd serves them over HTTP).
 type (
 	// Engine is a sharded, concurrent, incrementally maintained store of
-	// coordinated bottom-k sketches.
+	// coordinated bottom-k sketches. Engine.Version reports its mutation
+	// version, and Engine.CachedSnapshot serves the last reduced snapshot
+	// lock-free and bit-identically while the version holds (optionally
+	// within a staleness bound) — the serving hot path of monestd.
 	Engine = engine.Engine
 	// EngineConfig parameterizes an Engine.
 	EngineConfig = engine.Config
@@ -163,9 +166,12 @@ type (
 	EngineUpdate = engine.Update
 	// EngineSnapshot is a consistent cut reduced to per-item outcomes —
 	// bit-identical to SampleBottomK on the aggregated weight matrix when
-	// items are keyed by column index.
+	// items are keyed by column index. Snapshots returned by the cache are
+	// shared between readers (outcomes are backed by common arena arrays):
+	// treat them as immutable.
 	EngineSnapshot = engine.Snapshot
-	// EngineStats summarizes an engine's contents and traffic.
+	// EngineStats summarizes an engine's contents and traffic as one
+	// consistent cut (taken under the same all-shard lock as Snapshot).
 	EngineStats = engine.Stats
 )
 
