@@ -21,7 +21,7 @@ race:
 # for every push, structured enough to accumulate a perf trajectory from
 # the uploaded BENCH_<sha>.json artifacts.
 bench:
-	$(GO) test -json -run xxx -bench . -benchtime 1x ./internal/engine/ ./internal/server/ > $(BENCH_OUT)
+	$(GO) test -json -run xxx -bench . -benchtime 1x ./internal/engine/ ./internal/server/ ./internal/store/ > $(BENCH_OUT)
 	@echo "benchmark results written to $(BENCH_OUT)"
 
 # Compares a bench run against the committed baseline

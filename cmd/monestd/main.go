@@ -1,12 +1,16 @@
 // Command monestd serves monotone-sampling estimates from live streaming
 // sketches: a daemon wrapping internal/engine (sharded coordinated
-// bottom-k store) with the internal/server JSON API.
+// bottom-k store) with the internal/server JSON API and, when -data-dir
+// is set, the internal/store durability layer (write-ahead log + sketch
+// checkpoints + crash recovery).
 //
 // Usage:
 //
 //	monestd [-addr :8080] [-instances 2] [-k 64] [-shards 16] [-salt 1]
 //	        [-default-estimator lstar] [-estimators lstar,ustar,ht,...]
 //	        [-snapshot-max-stale 0s]
+//	        [-data-dir DIR] [-fsync always|interval|never]
+//	        [-checkpoint-interval 1m] [-pprof]
 //
 // -default-estimator names the registry estimator used when a request
 // does not name one; -estimators is an optional comma-separated allowlist
@@ -18,20 +22,31 @@
 // still costs nothing when no ingest intervened, thanks to the engine's
 // versioned snapshot cache.
 //
+// Durability: -data-dir points at a state directory (or a "backend:path"
+// store spec, e.g. "file:/var/lib/monestd"); on boot the daemon recovers
+// the latest checkpoint plus the WAL tail, and every accepted ingest is
+// then journaled ahead of being applied. -fsync picks the WAL flush
+// policy (always = durable per batch; interval = background flush;
+// never = leave it to the OS). -checkpoint-interval writes periodic
+// compact checkpoints (0 disables; /v1/checkpoint triggers one on
+// demand); a final checkpoint is always written on graceful shutdown.
+// Without -data-dir the daemon is in-memory only, as before.
+//
+// -pprof mounts net/http/pprof under /debug/pprof/ on the same listener.
+//
 // Example session:
 //
-//	monestd -addr :8080 -instances 2 -k 256 &
+//	monestd -addr :8080 -instances 2 -k 256 -data-dir /var/lib/monestd &
 //	curl -X POST localhost:8080/v1/ingest -d \
 //	  '{"updates":[{"instance":0,"key":"alpha","weight":0.9}]}'
 //	curl 'localhost:8080/v1/estimate/sum?func=rg&p=1&estimator=lstar'
-//	curl -X POST localhost:8080/v1/query -d '{"queries":[
-//	  {"func":"rg","p":1,"estimator":"ustar"},
-//	  {"statistic":"jaccard"}]}'
-//	curl localhost:8080/v1/estimate/jaccard
-//	curl localhost:8080/v1/stats
+//	curl -X POST localhost:8080/v1/checkpoint
+//	curl -o sketch.bin localhost:8080/v1/export
+//	curl localhost:8080/metrics
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain, the WAL is flushed, and a final checkpoint is written so the
+// next boot replays nothing.
 package main
 
 import (
@@ -41,6 +56,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -52,42 +68,73 @@ import (
 	"repro/internal/funcs"
 	"repro/internal/sampling"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
+// options carries every flag; run takes it whole so tests drive the full
+// daemon without a command line.
+type options struct {
+	addr       string
+	instances  int
+	k          int
+	shards     int
+	salt       uint64
+	defaultEst string
+	allow      string
+	maxStale   time.Duration
+
+	dataDir      string
+	fsync        string
+	checkpointIv time.Duration
+	pprof        bool
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	instances := flag.Int("instances", 2, "number of coordinated instances")
-	k := flag.Int("k", 64, "bottom-k sketch size per instance")
-	shards := flag.Int("shards", 16, "lock-striped shard count")
-	salt := flag.Uint64("salt", 1, "seed-hash salt (writers sharing it stay coordinated)")
-	defaultEst := flag.String("default-estimator", "lstar", "registry estimator used when a request names none")
-	allow := flag.String("estimators", "", "comma-separated allowlist of estimator base names (empty = all registered)")
-	maxStale := flag.Duration("snapshot-max-stale", 0, "serve cached snapshots up to this old under write load (0 = always exact)")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.instances, "instances", 2, "number of coordinated instances")
+	flag.IntVar(&o.k, "k", 64, "bottom-k sketch size per instance")
+	flag.IntVar(&o.shards, "shards", 16, "lock-striped shard count")
+	flag.Uint64Var(&o.salt, "salt", 1, "seed-hash salt (writers sharing it stay coordinated)")
+	flag.StringVar(&o.defaultEst, "default-estimator", "lstar", "registry estimator used when a request names none")
+	flag.StringVar(&o.allow, "estimators", "", "comma-separated allowlist of estimator base names (empty = all registered)")
+	flag.DurationVar(&o.maxStale, "snapshot-max-stale", 0, "serve cached snapshots up to this old under write load (0 = always exact)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "state directory or backend:path store spec (empty = in-memory only)")
+	flag.StringVar(&o.fsync, "fsync", "interval", "WAL flush policy: always, interval, never")
+	flag.DurationVar(&o.checkpointIv, "checkpoint-interval", time.Minute, "periodic checkpoint period (0 = only on demand and shutdown)")
+	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	if err := run(*addr, *instances, *k, *shards, *salt, *defaultEst, *allow, *maxStale); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "monestd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, instances, k, shards int, salt uint64, defaultEst, allow string, maxStale time.Duration) error {
-	if maxStale < 0 {
-		return fmt.Errorf("-snapshot-max-stale %v must be nonnegative", maxStale)
+func run(o options) error {
+	if o.maxStale < 0 {
+		return fmt.Errorf("-snapshot-max-stale %v must be nonnegative", o.maxStale)
+	}
+	if o.checkpointIv < 0 {
+		return fmt.Errorf("-checkpoint-interval %v must be nonnegative", o.checkpointIv)
+	}
+	fsyncPolicy, err := store.ParseFsyncPolicy(o.fsync)
+	if err != nil {
+		return err
 	}
 	eng, err := engine.New(engine.Config{
-		Instances: instances,
-		K:         k,
-		Shards:    shards,
-		Hash:      sampling.NewSeedHash(salt),
+		Instances: o.instances,
+		K:         o.k,
+		Shards:    o.shards,
+		Hash:      sampling.NewSeedHash(o.salt),
 	})
 	if err != nil {
 		return err
 	}
 	reg := estreg.Default()
-	if allow != "" {
+	if o.allow != "" {
 		var names []string
-		for _, n := range strings.Split(allow, ",") {
+		for _, n := range strings.Split(o.allow, ",") {
 			if n = strings.TrimSpace(n); n != "" {
 				names = append(names, n)
 			}
@@ -96,7 +143,7 @@ func run(addr string, instances, k, shards int, salt uint64, defaultEst, allow s
 			// A blank-but-set allowlist is an operator mistake; clearing
 			// the restriction here would serve everything they meant to
 			// lock down.
-			return fmt.Errorf("-estimators %q names no estimators", allow)
+			return fmt.Errorf("-estimators %q names no estimators", o.allow)
 		}
 		if err := reg.Allow(names); err != nil {
 			return err
@@ -108,32 +155,103 @@ func run(addr string, instances, k, shards int, salt uint64, defaultEst, allow s
 	if err != nil {
 		return err
 	}
-	if _, _, err := reg.Build(defaultEst, probe, instances); err != nil {
+	if _, _, err := reg.Build(o.defaultEst, probe, o.instances); err != nil {
 		return fmt.Errorf("default estimator: %w", err)
 	}
 	logger := log.New(os.Stderr, "monestd: ", log.LstdFlags)
+
+	// Durability: recover before the listener exists (the engine must not
+	// see traffic until the journal is attached), then checkpoint on a
+	// timer and finally on shutdown.
+	var persist *store.Persistence
+	if o.dataDir != "" {
+		st, err := store.Open(o.dataDir, store.Options{Fsync: fsyncPolicy})
+		if err != nil {
+			return err
+		}
+		p, rec, err := store.Attach(eng, st)
+		if err != nil {
+			st.Close()
+			return fmt.Errorf("recovering %s: %w", o.dataDir, err)
+		}
+		persist = p
+		msg := fmt.Sprintf("recovered %s: checkpoint seq=%d version=%d, replayed %d records (%d updates)",
+			o.dataDir, rec.CheckpointSeq, rec.CheckpointVersion, rec.Records, rec.Updates)
+		if rec.Truncated {
+			msg += ", WAL truncated at first corrupt record"
+		}
+		if rec.CheckpointsSkipped > 0 {
+			msg += fmt.Sprintf(", %d corrupt checkpoint(s) skipped", rec.CheckpointsSkipped)
+		}
+		logger.Print(msg)
+		// Compact a non-trivial replay right away: the boot we just paid
+		// for becomes a checkpoint instead of being paid again next time.
+		if rec.Records > 0 {
+			if cs, err := p.Checkpoint(); err != nil {
+				logger.Printf("post-recovery checkpoint failed: %v", err)
+			} else {
+				logger.Printf("post-recovery checkpoint seq=%d (%d keys, %d bytes)", cs.Seq, cs.Keys, cs.Bytes)
+			}
+		}
+	}
+
+	var handler http.Handler = server.NewWith(eng, server.Config{
+		Registry:         reg,
+		DefaultEstimator: o.defaultEst,
+		SnapshotMaxStale: o.maxStale,
+		Persist:          persist,
+	})
+	if o.pprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	srv := &http.Server{
-		Addr: addr,
-		Handler: server.NewWith(eng, server.Config{
-			Registry:         reg,
-			DefaultEstimator: defaultEst,
-			SnapshotMaxStale: maxStale,
-		}),
+		Addr:              o.addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	if persist != nil && o.checkpointIv > 0 {
+		go func() {
+			t := time.NewTicker(o.checkpointIv)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if cs, err := persist.Checkpoint(); err != nil {
+						logger.Printf("periodic checkpoint failed: %v", err)
+					} else if cs.WALRecordsDropped > 0 || cs.Keys > 0 {
+						logger.Printf("checkpoint seq=%d version=%d keys=%d bytes=%d wal-records-dropped=%d",
+							cs.Seq, cs.Version, cs.Keys, cs.Bytes, cs.WALRecordsDropped)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (instances=%d k=%d shards=%d salt=%d snapshot-max-stale=%v)",
-			addr, instances, k, shards, salt, maxStale)
+		logger.Printf("listening on %s (instances=%d k=%d shards=%d salt=%d snapshot-max-stale=%v data-dir=%q fsync=%v)",
+			o.addr, o.instances, o.k, o.shards, o.salt, o.maxStale, o.dataDir, fsyncPolicy)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
+		if persist != nil {
+			persist.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
@@ -145,6 +263,14 @@ func run(addr string, instances, k, shards int, salt uint64, defaultEst, allow s
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// Requests are drained: flush the WAL and write the final checkpoint
+	// so the next boot restores it and replays nothing.
+	if persist != nil {
+		if err := persist.Close(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+		logger.Printf("final checkpoint written")
 	}
 	st := eng.Stats()
 	logger.Printf("stopped: %d keys, %d ingests served", st.Keys, st.Ingests)

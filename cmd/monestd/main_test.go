@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -22,18 +24,33 @@ func freeAddr(t *testing.T) string {
 	return addr
 }
 
-func TestRunServesAndShutsDownGracefully(t *testing.T) {
-	addr := freeAddr(t)
-	done := make(chan error, 1)
-	go func() { done <- run(addr, 2, 8, 4, 1, "lstar", "", 50*time.Millisecond) }()
+func baseOpts(addr string) options {
+	return options{
+		addr:       addr,
+		instances:  2,
+		k:          8,
+		shards:     4,
+		salt:       1,
+		defaultEst: "lstar",
+		maxStale:   50 * time.Millisecond,
+		fsync:      "interval",
+	}
+}
 
-	// Wait for the listener, then exercise one ingest + one estimate.
-	url := "http://" + addr
-	var resp *http.Response
+// startDaemon runs the daemon until stop() is called; stop SIGTERMs the
+// process (run installs a per-call signal context) and waits for a clean
+// exit.
+func startDaemon(t *testing.T, o options) (url string, stop func()) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- run(o) }()
+	url = "http://" + o.addr
 	var err error
 	for i := 0; i < 100; i++ {
+		var resp *http.Response
 		resp, err = http.Get(url + "/healthz")
 		if err == nil {
+			resp.Body.Close()
 			break
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -41,10 +58,26 @@ func TestRunServesAndShutsDownGracefully(t *testing.T) {
 	if err != nil {
 		t.Fatalf("daemon never came up: %v", err)
 	}
-	resp.Body.Close()
+	return url, func() {
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon did not shut down after SIGTERM")
+		}
+	}
+}
+
+func TestRunServesAndShutsDownGracefully(t *testing.T) {
+	url, stop := startDaemon(t, baseOpts(freeAddr(t)))
 
 	body := `{"updates":[{"instance":0,"key":"alpha","weight":0.9},{"instance":1,"key":"alpha","weight":0.5}]}`
-	resp, err = http.Post(url+"/v1/ingest", "application/json", strings.NewReader(body))
+	resp, err := http.Post(url+"/v1/ingest", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,40 +100,124 @@ func TestRunServesAndShutsDownGracefully(t *testing.T) {
 	}
 
 	// SIGTERM must drain and exit cleanly.
-	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+	stop()
+}
+
+// export fetches the binary state artifact, which is deterministic for
+// equal states — byte equality below means the sketch survived intact.
+func export(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/export")
+	if err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("run returned %v", err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("daemon did not shut down after SIGTERM")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestKillAndRestartRecoversState is the acceptance test for the durable
+// engine: ingest over HTTP, SIGTERM the daemon, boot a fresh one on the
+// same data dir, and require the recovered /v1/export bytes to match the
+// pre-shutdown ones exactly.
+func TestKillAndRestartRecoversState(t *testing.T) {
+	dir := t.TempDir()
+	o := baseOpts(freeAddr(t))
+	o.dataDir = dir
+	o.checkpointIv = time.Hour // only the shutdown checkpoint
+	url, stop := startDaemon(t, o)
+
+	body := `{"updates":[
+		{"instance":0,"key":"alpha","weight":0.9},{"instance":1,"key":"alpha","weight":0.5},
+		{"instance":0,"key":"beta","weight":2.25},{"instance":1,"key":"gamma","weight":1.5}]}`
+	resp, err := http.Post(url+"/v1/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	want := export(t, url)
+	stop()
+
+	o2 := baseOpts(freeAddr(t))
+	o2.dataDir = dir
+	url2, stop2 := startDaemon(t, o2)
+	defer stop2()
+	if got := export(t, url2); !bytes.Equal(got, want) {
+		t.Fatalf("recovered export differs: %d bytes vs %d bytes pre-shutdown", len(got), len(want))
+	}
+
+	// The restarted daemon keeps serving: checkpoint on demand works.
+	resp, err = http.Post(url2+"/v1/checkpoint", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestPprofFlagMountsProfiles(t *testing.T) {
+	o := baseOpts(freeAddr(t))
+	o.pprof = true
+	url, stop := startDaemon(t, o)
+	defer stop()
+
+	resp, err := http.Get(url + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+
+	// The API still routes beneath the pprof mux.
+	resp, err = http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz behind pprof mux: %d", resp.StatusCode)
 	}
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run("127.0.0.1:0", 0, 8, 4, 1, "lstar", "", 0); err == nil {
-		t.Error("zero instances should fail")
+	mod := func(f func(*options)) options {
+		o := baseOpts("127.0.0.1:0")
+		o.maxStale = 0
+		f(&o)
+		return o
 	}
-	if err := run("127.0.0.1:0", 2, 0, 4, 1, "lstar", "", 0); err == nil {
-		t.Error("zero k should fail")
+	cases := []struct {
+		name string
+		o    options
+	}{
+		{"zero instances", mod(func(o *options) { o.instances = 0 })},
+		{"zero k", mod(func(o *options) { o.k = 0 })},
+		{"unknown default estimator", mod(func(o *options) { o.defaultEst = "nope" })},
+		{"unknown allowlist entry", mod(func(o *options) { o.allow = "lstar,bogus" })},
+		{"default estimator outside allowlist", mod(func(o *options) { o.defaultEst = "ustar"; o.allow = "lstar,ht" })},
+		{"blank-but-set allowlist", mod(func(o *options) { o.allow = " , " })},
+		{"negative snapshot-max-stale", mod(func(o *options) { o.maxStale = -time.Second })},
+		{"negative checkpoint interval", mod(func(o *options) { o.checkpointIv = -time.Second })},
+		{"bad fsync policy", mod(func(o *options) { o.fsync = "sometimes" })},
+		{"unknown store backend", mod(func(o *options) { o.dataDir = "bogus:/tmp/x" })},
 	}
-	if err := run("127.0.0.1:0", 2, 8, 4, 1, "nope", "", 0); err == nil {
-		t.Error("unknown default estimator should fail")
-	}
-	if err := run("127.0.0.1:0", 2, 8, 4, 1, "lstar", "lstar,bogus", 0); err == nil {
-		t.Error("unknown allowlist entry should fail")
-	}
-	if err := run("127.0.0.1:0", 2, 8, 4, 1, "ustar", "lstar,ht", 0); err == nil {
-		t.Error("default estimator outside the allowlist should fail")
-	}
-	if err := run("127.0.0.1:0", 2, 8, 4, 1, "lstar", " , ", 0); err == nil {
-		t.Error("blank-but-set allowlist should fail, not clear the restriction")
-	}
-	if err := run("127.0.0.1:0", 2, 8, 4, 1, "lstar", "", -time.Second); err == nil {
-		t.Error("negative snapshot-max-stale should fail")
+	for _, tc := range cases {
+		if err := run(tc.o); err == nil {
+			t.Errorf("%s should fail", tc.name)
+		}
 	}
 }
 
@@ -110,7 +227,9 @@ func TestRunRejectsBusyAddress(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if err := run(l.Addr().String(), 2, 8, 4, 1, "lstar", "", 0); err == nil {
+	o := baseOpts(l.Addr().String())
+	o.maxStale = 0
+	if err := run(o); err == nil {
 		t.Error("busy address should fail")
 	}
 }

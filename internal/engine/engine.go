@@ -32,6 +32,23 @@ type Update struct {
 	Weight float64 `json:"weight"`
 }
 
+// Journal durably records accepted updates — the engine's write-ahead
+// hook. Append is called with batches of validated, non-zero-weight
+// updates UNDER THE OWNING SHARD'S LOCK, immediately before they are
+// applied in the same critical section. That placement is what makes
+// checkpoints sound: any consistent cut (which acquires every shard lock)
+// observes the application of every batch journaled before it, so a
+// store that rotates its WAL before cutting can prune the closed tail
+// without losing an update. Replay may observe batches in a different
+// interleaving than they were applied in: the sketch fold is commutative
+// and idempotent under max semantics (the batch-equivalence tests prove
+// order-independence), so any replay order reproduces the same state.
+// Implementations must be safe for concurrent use, must not retain the
+// batch slice past the call, and must never call back into the engine.
+type Journal interface {
+	Append(batch []Update) error
+}
+
 // Engine is a sharded streaming store of coordinated bottom-k sketches.
 // Methods are safe for concurrent use.
 type Engine struct {
@@ -39,6 +56,9 @@ type Engine struct {
 	maskWords int
 	shards    []*shard
 	ingests   atomic.Uint64
+	// journal, when set, receives every accepted update batch before it is
+	// applied (write-ahead). Set via SetJournal before concurrent use.
+	journal Journal
 	// cache is the last reduced snapshot with the version it was cut at;
 	// CachedSnapshot serves it lock-free while the version holds, and
 	// rebuildMu single-flights cache-miss rebuilds.
@@ -83,6 +103,11 @@ func New(cfg Config) (*Engine, error) {
 // Config returns the engine's (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// SetJournal attaches the write-ahead journal. It must be called before
+// the engine sees concurrent traffic (internal/store attaches it after
+// recovery, before the server starts); a nil journal disables journaling.
+func (e *Engine) SetJournal(j Journal) { e.journal = j }
+
 // Ingest folds one observation into the sketches under max-weight
 // semantics. Negative, NaN or infinite weights are rejected; zero weights
 // are accepted no-ops (a zero entry is never sampled) that leave the
@@ -96,6 +121,16 @@ func (e *Engine) Ingest(instance int, key uint64, weight float64) error {
 	}
 	sh := e.shards[e.shardOf(key)]
 	sh.mu.Lock()
+	// Write-ahead under the shard lock: journaled-then-applied is one
+	// critical section, so a checkpoint cut never misses a journaled
+	// update (see Journal). A journal error rejects the update unapplied.
+	if e.journal != nil {
+		one := [1]Update{{Instance: instance, Key: key, Weight: weight}}
+		if err := e.journal.Append(one[:]); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("engine: journal: %w", err)
+		}
+	}
 	// Counters bump under the shard lock so a consistent cut (Snapshot,
 	// Stats) reads version and traffic exactly as of the cut. Version
 	// counts mutations only; Ingests counts accepted operations.
@@ -175,6 +210,17 @@ func (e *Engine) IngestBatch(updates []Update) error {
 		}
 		sh := e.shards[s]
 		sh.mu.Lock()
+		// Write-ahead per shard, inside the shard's critical section (see
+		// Journal): each shard's sub-batch is one WAL record. A journal
+		// error aborts the batch mid-way — shards already walked keep
+		// their (journaled) updates, later shards see nothing, matching
+		// the documented per-shard (not cross-shard) atomicity.
+		if e.journal != nil {
+			if err := e.journal.Append(buf[lo:hi]); err != nil {
+				sh.mu.Unlock()
+				return fmt.Errorf("engine: journal (batch partially applied): %w", err)
+			}
+		}
 		muts := uint64(0)
 		for _, u := range buf[lo:hi] {
 			if sh.ingest(e, u.Instance, u.Key, u.Weight) {

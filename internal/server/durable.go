@@ -1,0 +1,147 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/store"
+)
+
+// This file is the durability face of the API:
+//
+//	POST /v1/checkpoint  cut + persist the sketch state, truncate the WAL
+//	GET  /v1/export      the engine state as a portable binary artifact
+//	POST /v1/import      merge an exported artifact into the live engine
+//	GET  /metrics        Prometheus text exposition of engine + endpoint
+//	                     counters
+//
+// Export/import work with or without a configured store: the artifact is
+// store.EncodeState's integrity-checked binary format, so a sketch can be
+// carried between monestd instances (sharing the seed salt) or parked in
+// object storage. Checkpointing requires Config.Persist.
+
+// maxImportBody caps /v1/import request bodies (64 MiB — a 1M-key,
+// 2-instance artifact is ~40 MiB).
+const maxImportBody = 64 << 20
+
+func (s *Server) handleCheckpoint(r *http.Request) (int, any, error) {
+	if err := checkParams(r.URL.Query()); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	if s.persist == nil {
+		return http.StatusServiceUnavailable, nil, errors.New("no persistence configured (start monestd with -data-dir)")
+	}
+	start := time.Now()
+	stats, err := s.persist.Checkpoint()
+	if err != nil {
+		return http.StatusInternalServerError, nil, err
+	}
+	return http.StatusOK, map[string]any{
+		"checkpoint":  stats,
+		"duration_ms": float64(time.Since(start).Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// handleExport streams the current sketch state as a binary artifact. A
+// raw (non-JSON) endpoint: the artifact is the exact byte format
+// checkpoints use, so equal states export equal bytes — the comparison
+// the recovery tests rest on.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) (int, error) {
+	if err := checkParams(r.URL.Query()); err != nil {
+		return http.StatusBadRequest, err
+	}
+	data := store.EncodeState(s.eng.DumpState())
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.Header().Set("Content-Disposition", `attachment; filename="monest-sketch.bin"`)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data) // header is out; a client hang-up is not our error
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleImport(r *http.Request) (int, any, error) {
+	if err := checkParams(r.URL.Query()); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxImportBody))
+	if err != nil {
+		return http.StatusBadRequest, nil, fmt.Errorf("reading artifact: %w", err)
+	}
+	st, err := store.DecodeState(data)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	if err := s.eng.MergeState(st); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	resp := map[string]any{
+		"merged_keys":    len(st.Keys),
+		"merged_ingests": st.Ingests,
+		"engine":         s.eng.Stats(),
+	}
+	// Merging bypasses the WAL (activity masks have no per-update form),
+	// so the new state is volatile until checkpointed; do it now rather
+	// than leaving a window where a crash silently undoes the import.
+	if s.persist != nil {
+		cs, err := s.persist.Checkpoint()
+		if err != nil {
+			return http.StatusInternalServerError, nil, fmt.Errorf("import applied but checkpoint failed: %w", err)
+		}
+		resp["checkpoint"] = cs
+	}
+	return http.StatusOK, resp, nil
+}
+
+// handleMetrics exposes the counters /v1/stats reports, in Prometheus
+// text exposition format (no client library — the format is lines of
+// `name{labels} value`). Counter names follow prometheus conventions:
+// monotone counters end in _total, gauges are bare.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (int, error) {
+	if err := checkParams(r.URL.Query()); err != nil {
+		return http.StatusBadRequest, err
+	}
+	st := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+
+	var b []byte
+	gauge := func(name, help string, v float64) {
+		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v float64) {
+		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("monest_engine_keys", "Distinct item keys ever ingested.", float64(st.Keys))
+	gauge("monest_engine_active_entries", "Distinct (instance, key) pairs with positive weight.", float64(st.ActiveEntries))
+	gauge("monest_engine_retained_entries", "Sketch entries currently held in bottom-k heaps.", float64(st.RetainedEntries))
+	gauge("monest_engine_instances", "Configured coordinated instances.", float64(st.Instances))
+	gauge("monest_engine_k", "Configured bottom-k sketch size.", float64(st.K))
+	gauge("monest_engine_shards", "Configured lock-striped shards.", float64(st.Shards))
+	counter("monest_engine_ingests_total", "Accepted non-zero ingest operations.", float64(st.Ingests))
+	counter("monest_engine_version", "Engine mutation version (snapshot-visible state changes).", float64(st.Version))
+	gauge("monest_uptime_seconds", "Seconds since the server started.", time.Since(s.started).Seconds())
+
+	patterns := make([]string, 0, len(s.metrics))
+	for p := range s.metrics {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	b = fmt.Appendf(b, "# HELP monest_http_requests_total Requests served per endpoint.\n# TYPE monest_http_requests_total counter\n")
+	for _, p := range patterns {
+		b = fmt.Appendf(b, "monest_http_requests_total{endpoint=%q} %d\n", p, s.metrics[p].requests.Load())
+	}
+	b = fmt.Appendf(b, "# HELP monest_http_errors_total Error responses per endpoint.\n# TYPE monest_http_errors_total counter\n")
+	for _, p := range patterns {
+		b = fmt.Appendf(b, "monest_http_errors_total{endpoint=%q} %d\n", p, s.metrics[p].errors.Load())
+	}
+	b = fmt.Appendf(b, "# HELP monest_http_latency_seconds_total Cumulative handler latency per endpoint.\n# TYPE monest_http_latency_seconds_total counter\n")
+	for _, p := range patterns {
+		b = fmt.Appendf(b, "monest_http_latency_seconds_total{endpoint=%q} %g\n", p, float64(s.metrics[p].latencyNS.Load())/1e9)
+	}
+	_, _ = w.Write(b)
+	return http.StatusOK, nil
+}

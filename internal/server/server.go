@@ -9,6 +9,10 @@
 //	GET  /v1/estimate/sum     sum estimate: ?func=rg&p=1&estimator=lstar
 //	GET  /v1/estimate/jaccard Jaccard of the instances' positive supports
 //	GET  /v1/stats            engine contents + per-endpoint counters
+//	POST /v1/checkpoint       persist a sketch checkpoint, truncate the WAL
+//	GET  /v1/export           portable binary sketch artifact (octet-stream)
+//	POST /v1/import           merge an exported artifact into the engine
+//	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness probe
 //
 // Item functions: rg (param p), rgplus (p), max, or, and, lincomb (comma
@@ -49,6 +53,7 @@ import (
 	"repro/internal/estreg"
 	"repro/internal/funcs"
 	"repro/internal/sampling"
+	"repro/internal/store"
 )
 
 // maxIngestBody caps ingest request bodies (16 MiB) against unbounded
@@ -68,6 +73,9 @@ type Server struct {
 	// memo caches evaluated results per snapshot version (snapshot.go).
 	snaps SnapshotSource
 	memo  atomic.Pointer[resultMemo]
+	// persist, when set, backs /v1/checkpoint and makes /v1/import
+	// durable (see durable.go).
+	persist *store.Persistence
 }
 
 // Config customizes a server beyond its engine.
@@ -85,6 +93,11 @@ type Config struct {
 	// every read reflects all completed ingests. Ignored when Snapshots
 	// is set.
 	SnapshotMaxStale time.Duration
+	// Persist, when set, is the engine's attached persistence layer:
+	// POST /v1/checkpoint cuts through it, and /v1/import checkpoints
+	// after merging. Nil leaves the engine in-memory only; /v1/checkpoint
+	// then answers 503.
+	Persist *store.Persistence
 }
 
 // endpointMetrics counts one endpoint's traffic. Fields are atomics so
@@ -114,6 +127,8 @@ func errCode(status int) string {
 		return "not_found"
 	case status >= 400 && status < 500:
 		return "bad_request"
+	case status == http.StatusServiceUnavailable:
+		return "unavailable"
 	default:
 		return "internal"
 	}
@@ -144,12 +159,17 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 		started:    time.Now(),
 		metrics:    make(map[string]*endpointMetrics),
 		snaps:      cfg.Snapshots,
+		persist:    cfg.Persist,
 	}
 	s.route("POST /v1/ingest", s.handleIngest)
 	s.route("POST /v1/query", s.handleQuery)
 	s.route("GET /v1/estimate/sum", s.handleEstimateSum)
 	s.route("GET /v1/estimate/jaccard", s.handleEstimateJaccard)
 	s.route("GET /v1/stats", s.handleStats)
+	s.route("POST /v1/checkpoint", s.handleCheckpoint)
+	s.route("POST /v1/import", s.handleImport)
+	s.routeRaw("GET /v1/export", s.handleExport)
+	s.routeRaw("GET /metrics", s.handleMetrics)
 	s.route("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -173,6 +193,25 @@ func (s *Server) route(pattern string, h func(*http.Request) (int, any, error)) 
 			return
 		}
 		writeJSON(w, code, body)
+	})
+}
+
+// routeRaw registers an instrumented handler that writes its own success
+// response (non-JSON endpoints: /v1/export, /metrics). On error the
+// handler must NOT have written headers yet; the structured JSON error
+// body is emitted here, as in route.
+func (s *Server) routeRaw(pattern string, h func(http.ResponseWriter, *http.Request) (int, error)) {
+	m := &endpointMetrics{}
+	s.metrics[pattern] = m
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code, err := h(w, r)
+		m.requests.Add(1)
+		m.latencyNS.Add(uint64(time.Since(start).Nanoseconds()))
+		if err != nil {
+			m.errors.Add(1)
+			writeJSON(w, code, map[string]apiError{"error": {Code: errCode(code), Message: err.Error()}})
+		}
 	})
 }
 

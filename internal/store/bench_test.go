@@ -1,0 +1,191 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sampling"
+)
+
+func benchEngine(b *testing.B) *engine.Engine {
+	b.Helper()
+	e, err := engine.New(engine.Config{Instances: 2, K: 64, Shards: 16, Hash: sampling.NewSeedHash(1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchUpdates(n, keyspace int) []engine.Update {
+	rng := rand.New(rand.NewSource(42))
+	ups := make([]engine.Update, n)
+	for i := range ups {
+		ups[i] = engine.Update{
+			Instance: rng.Intn(2),
+			Key:      uint64(rng.Intn(keyspace)),
+			Weight:   rng.Float64() * 100,
+		}
+	}
+	return ups
+}
+
+// BenchmarkIngestWAL measures the WAL's ingest overhead: 256-update
+// batches into a 16-shard engine, with journaling off and on under each
+// fsync policy. The off/never delta is the encoding+write cost; never vs
+// always is the price of per-batch durability.
+func BenchmarkIngestWAL(b *testing.B) {
+	const batch = 256
+	run := func(b *testing.B, attach bool, opt Options) {
+		e := benchEngine(b)
+		if attach {
+			st, err := Open(b.TempDir(), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, _, err := Attach(e, st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+		}
+		ups := benchUpdates(64*batch, 1<<16)
+		b.ReportAllocs()
+		b.SetBytes(int64(batch * 20))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := (i * batch) % (len(ups) - batch)
+			if err := e.IngestBatch(ups[lo : lo+batch]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false, Options{}) })
+	b.Run("fsync=never", func(b *testing.B) { run(b, true, Options{Fsync: FsyncNever}) })
+	b.Run("fsync=interval", func(b *testing.B) {
+		run(b, true, Options{Fsync: FsyncInterval, SyncInterval: 100 * time.Millisecond})
+	})
+	b.Run("fsync=always", func(b *testing.B) { run(b, true, Options{Fsync: FsyncAlways}) })
+}
+
+// BenchmarkRecovery measures boot-time replay of a 1M-update WAL (no
+// checkpoint — the worst case) into a fresh engine.
+func BenchmarkRecovery(b *testing.B) {
+	const total = 1 << 20
+	const batch = 256
+	dir := b.TempDir()
+	{
+		e := benchEngine(b)
+		st, err := Open(dir, Options{Fsync: FsyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, _, err := Attach(e, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ups := benchUpdates(total, 1<<18)
+		for lo := 0; lo < total; lo += batch {
+			if err := e.IngestBatch(ups[lo : lo+batch]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Sync(); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Close(); err != nil { // crash-style: no final checkpoint
+			b.Fatal(err)
+		}
+		_ = p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := benchEngine(b)
+		st, err := Open(dir, Options{Fsync: FsyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := st.Recover(recoveryTarget{e})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Updates != total {
+			b.Fatalf("replayed %d updates, want %d", stats.Updates, total)
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds()/float64(b.N), "updates/s")
+	}
+}
+
+// BenchmarkCheckpoint measures cutting and persisting a 64k-key state.
+func BenchmarkCheckpoint(b *testing.B) {
+	e := benchEngine(b)
+	st, err := Open(b.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _, err := Attach(e, st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	ups := benchUpdates(1<<18, 1<<16)
+	for lo := 0; lo < len(ups); lo += 256 {
+		if err := e.IngestBatch(ups[lo : lo+256]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The benchmarks double as a large-scale equivalence check when run with
+// -test.run support; keep a cheap guard here so `go test` exercises the
+// 1M path shape without the cost.
+func TestRecoveryBenchShape(t *testing.T) {
+	e, err := engine.New(engine.Config{Instances: 2, K: 64, Shards: 16, Hash: sampling.NewSeedHash(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := Attach(e, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := benchUpdates(4096, 1<<12)
+	for lo := 0; lo < len(ups); lo += 256 {
+		if err := e.IngestBatch(ups[lo : lo+256]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := e.Snapshot()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := engine.New(engine.Config{Instances: 2, K: 64, Shards: 16, Hash: sampling.NewSeedHash(1)})
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Recover(recoveryTarget{r}); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if !reflect.DeepEqual(r.Snapshot(), want) {
+		t.Fatal("bench-shaped recovery is not bit-identical")
+	}
+}

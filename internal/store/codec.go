@@ -1,0 +1,234 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/engine"
+)
+
+// Binary formats. Everything is little-endian and length-prefixed; every
+// payload carries a CRC32 (IEEE) so torn writes and bit rot are detected,
+// never silently replayed.
+//
+// WAL segment file:
+//
+//	[8]  magic "MONESTW1"
+//	then records:
+//	  [4] payload length N
+//	  [4] CRC32(payload)
+//	  [N] payload = update batch:
+//	        [4] count
+//	        count × { [4] instance, [8] key, [8] weight bits }
+//
+// State artifact (export format and checkpoint body):
+//
+//	[8]  magic "MONESTS1"
+//	[4]  payload length N
+//	[4]  CRC32(payload)
+//	[N]  payload:
+//	       [2] format version (1)
+//	       [4] instances  [4] k  [4] shards
+//	       [8] engine version  [8] ingests
+//	       2 × [8] seed-fingerprint bits
+//	       [8] key count, then keys, then masks (keys × maskWords words)
+//	       per instance: [8] entry count, then { [8] key, [8] weight bits }
+//
+// Checkpoint file: [8] magic "MONESTK1", [8] first WAL segment to replay,
+// then a full state artifact.
+const (
+	walMagic   = "MONESTW1"
+	stateMagic = "MONESTS1"
+	ckptMagic  = "MONESTK1"
+
+	stateFormat = 1
+
+	// maxRecordBytes bounds a WAL record's declared payload length; a
+	// longer length is corruption, not a record worth allocating for.
+	maxRecordBytes = 64 << 20
+
+	updateBytes = 4 + 8 + 8
+)
+
+// appendUpdates encodes a batch as one WAL record payload.
+func appendUpdates(dst []byte, batch []engine.Update) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(batch)))
+	for _, u := range batch {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(u.Instance))
+		dst = binary.LittleEndian.AppendUint64(dst, u.Key)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(u.Weight))
+	}
+	return dst
+}
+
+// decodeUpdates parses one WAL record payload.
+func decodeUpdates(payload []byte) ([]engine.Update, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("store: record payload %d bytes, want ≥ 4", len(payload))
+	}
+	n := binary.LittleEndian.Uint32(payload)
+	if uint64(len(payload)) != 4+uint64(n)*updateBytes {
+		return nil, fmt.Errorf("store: record declares %d updates in %d payload bytes", n, len(payload))
+	}
+	batch := make([]engine.Update, n)
+	off := 4
+	for i := range batch {
+		batch[i] = engine.Update{
+			Instance: int(binary.LittleEndian.Uint32(payload[off:])),
+			Key:      binary.LittleEndian.Uint64(payload[off+4:]),
+			Weight:   math.Float64frombits(binary.LittleEndian.Uint64(payload[off+12:])),
+		}
+		off += updateBytes
+	}
+	return batch, nil
+}
+
+// EncodeState serializes a dumped engine state as a self-contained,
+// integrity-checked artifact — the /v1/export wire format and the body of
+// every checkpoint. Equal states encode to equal bytes.
+func EncodeState(st *engine.State) []byte {
+	mw := (st.Instances + 63) / 64
+	size := 2 + 3*4 + 2*8 + 2*8 + 8 + len(st.Keys)*8 + len(st.Keys)*mw*8
+	for _, ents := range st.Entries {
+		size += 8 + len(ents)*16
+	}
+	payload := make([]byte, 0, size)
+	payload = binary.LittleEndian.AppendUint16(payload, stateFormat)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(st.Instances))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(st.K))
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(st.Shards))
+	payload = binary.LittleEndian.AppendUint64(payload, st.Version)
+	payload = binary.LittleEndian.AppendUint64(payload, st.Ingests)
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(st.SeedCheck[0]))
+	payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(st.SeedCheck[1]))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(len(st.Keys)))
+	for _, k := range st.Keys {
+		payload = binary.LittleEndian.AppendUint64(payload, k)
+	}
+	for _, m := range st.Masks {
+		payload = binary.LittleEndian.AppendUint64(payload, m)
+	}
+	for _, ents := range st.Entries {
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(len(ents)))
+		for _, en := range ents {
+			payload = binary.LittleEndian.AppendUint64(payload, en.Key)
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(en.Weight))
+		}
+	}
+
+	out := make([]byte, 0, 8+4+4+len(payload))
+	out = append(out, stateMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// stateReader walks an encoded payload with bounds checking.
+type stateReader struct {
+	b   []byte
+	off int
+}
+
+func (r *stateReader) need(n int) error {
+	if len(r.b)-r.off < n {
+		return fmt.Errorf("store: state artifact truncated at byte %d (need %d more)", r.off, n)
+	}
+	return nil
+}
+
+func (r *stateReader) u16() uint16 {
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *stateReader) u32() uint32 {
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *stateReader) u64() uint64 {
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// DecodeState parses an EncodeState artifact, verifying magic, length and
+// checksum. Structural validity is checked here; semantic compatibility
+// (instances, k, seed fingerprint) is the engine's RestoreState/MergeState
+// contract.
+func DecodeState(data []byte) (*engine.State, error) {
+	if len(data) < 16 || string(data[:8]) != stateMagic {
+		return nil, fmt.Errorf("store: not a state artifact (bad magic)")
+	}
+	plen := binary.LittleEndian.Uint32(data[8:])
+	if uint64(len(data)) != 16+uint64(plen) {
+		return nil, fmt.Errorf("store: state artifact is %d bytes, header declares %d", len(data), 16+plen)
+	}
+	payload := data[16:]
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(data[12:]) {
+		return nil, fmt.Errorf("store: state artifact checksum mismatch")
+	}
+	r := &stateReader{b: payload}
+	if err := r.need(2 + 3*4 + 2*8 + 2*8 + 8); err != nil {
+		return nil, err
+	}
+	if f := r.u16(); f != stateFormat {
+		return nil, fmt.Errorf("store: state format %d not supported (want %d)", f, stateFormat)
+	}
+	st := &engine.State{
+		Instances: int(r.u32()),
+		K:         int(r.u32()),
+		Shards:    int(r.u32()),
+	}
+	st.Version = r.u64()
+	st.Ingests = r.u64()
+	st.SeedCheck[0] = math.Float64frombits(r.u64())
+	st.SeedCheck[1] = math.Float64frombits(r.u64())
+	if st.Instances < 1 || st.K < 1 {
+		return nil, fmt.Errorf("store: state has instances=%d k=%d", st.Instances, st.K)
+	}
+	nkeys := r.u64()
+	mw := (st.Instances + 63) / 64
+	// Bound counts by the payload size before converting to int: a
+	// corrupt huge count must fail, not overflow the size arithmetic.
+	if nkeys > uint64(len(payload))/8 {
+		return nil, fmt.Errorf("store: state declares %d keys in %d payload bytes", nkeys, len(payload))
+	}
+	if err := r.need(int(nkeys) * (8 + mw*8)); err != nil {
+		return nil, err
+	}
+	st.Keys = make([]uint64, nkeys)
+	for i := range st.Keys {
+		st.Keys[i] = r.u64()
+	}
+	st.Masks = make([]uint64, int(nkeys)*mw)
+	for i := range st.Masks {
+		st.Masks[i] = r.u64()
+	}
+	st.Entries = make([][]engine.StateEntry, st.Instances)
+	for i := range st.Entries {
+		if err := r.need(8); err != nil {
+			return nil, err
+		}
+		n := r.u64()
+		if n > uint64(len(payload))/16 {
+			return nil, fmt.Errorf("store: state declares %d entries in %d payload bytes", n, len(payload))
+		}
+		if err := r.need(int(n) * 16); err != nil {
+			return nil, err
+		}
+		ents := make([]engine.StateEntry, n)
+		for j := range ents {
+			ents[j] = engine.StateEntry{Key: r.u64(), Weight: math.Float64frombits(r.u64())}
+		}
+		st.Entries[i] = ents
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("store: %d trailing bytes after state payload", len(payload)-r.off)
+	}
+	return st, nil
+}

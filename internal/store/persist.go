@@ -1,0 +1,87 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// Persistence ties one engine to one Store: Attach recovers the engine
+// from the store and wires the store in as the engine's write-ahead
+// journal; Checkpoint cuts and persists the live state; Close writes a
+// final checkpoint and releases the store (the graceful-shutdown path).
+type Persistence struct {
+	eng *engine.Engine
+	st  Store
+	// mu serializes checkpoints: two concurrent cuts would race for the
+	// rotation-then-cut ordering the store's pruning relies on.
+	mu        sync.Mutex
+	closed    bool
+	recovered RecoveryStats
+}
+
+// recoveryTarget replays a store's contents into a bare engine.
+type recoveryTarget struct{ eng *engine.Engine }
+
+func (t recoveryTarget) Restore(st *engine.State) error { return t.eng.RestoreState(st) }
+func (t recoveryTarget) Replay(batch []engine.Update) error {
+	// The journal is not attached yet, so replay does not re-journal.
+	if err := t.eng.IngestBatch(batch); err != nil {
+		return fmt.Errorf("replaying %d updates: %w", len(batch), err)
+	}
+	return nil
+}
+
+// Attach recovers the store's contents into the engine (which must be
+// freshly constructed) and attaches the store as the engine's journal.
+// On return the engine's Snapshot() is bit-identical to the pre-crash
+// engine's at the last durable point, and every subsequent ingest is
+// journaled. The engine must not receive traffic until Attach returns.
+func Attach(eng *engine.Engine, st Store) (*Persistence, RecoveryStats, error) {
+	stats, err := st.Recover(recoveryTarget{eng})
+	if err != nil {
+		return nil, stats, err
+	}
+	eng.SetJournal(st)
+	return &Persistence{eng: eng, st: st, recovered: stats}, stats, nil
+}
+
+// Recovered reports what Attach found.
+func (p *Persistence) Recovered() RecoveryStats { return p.recovered }
+
+// Checkpoint persists a consistent cut of the engine and truncates the
+// WAL it covers. Safe to call concurrently with ingests and with itself.
+func (p *Persistence) Checkpoint() (CheckpointStats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return CheckpointStats{}, fmt.Errorf("store: persistence closed")
+	}
+	return p.st.Checkpoint(p.eng.DumpState)
+}
+
+// Sync forces journaled updates to stable storage (exposed for tests and
+// operators; the fsync policy drives it in normal operation).
+func (p *Persistence) Sync() error { return p.st.Sync() }
+
+// Close writes a final checkpoint and closes the store. The caller must
+// have stopped ingest traffic (monestd drains HTTP first); after Close
+// the WAL tail is empty, so the next boot restores the checkpoint and
+// replays nothing.
+func (p *Persistence) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	_, cerr := p.st.Checkpoint(p.eng.DumpState)
+	if err := p.st.Close(); err != nil {
+		if cerr != nil {
+			return fmt.Errorf("%w (and close: %v)", cerr, err)
+		}
+		return err
+	}
+	return cerr
+}

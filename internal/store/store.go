@@ -1,0 +1,203 @@
+// Package store is the engine's persistence subsystem: an append-only
+// write-ahead log of accepted updates plus compact sketch checkpoints,
+// behind a pluggable Store interface with a backend registry.
+//
+// The durability model leans on two sketch properties. First, sketches
+// are tiny (≤ k+1 retained entries per instance per shard), so a full
+// checkpoint costs little relative to the raw stream and the WAL never
+// needs to grow past one checkpoint interval. Second, the sketch fold is
+// commutative and idempotent under max semantics, so recovery can replay
+// a WAL tail that overlaps the checkpoint cut — re-applying an already
+// checkpointed update is a dominated-duplicate no-op. The file backend
+// exploits this by rotating to a fresh WAL segment before cutting the
+// checkpoint: no coordination between appenders and the checkpointer is
+// needed beyond the rotation itself.
+//
+// Recovery = newest valid checkpoint (falling back to older ones when the
+// newest is missing or corrupt) + replay of the WAL segments it points
+// at, truncating at the first torn or corrupt record. The Persistence
+// type (persist.go) wires all of this to an engine.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// FsyncPolicy says when WAL appends are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs after every append: no accepted update is ever
+	// lost, at the cost of a disk flush per batch.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background timer (Options.SyncInterval):
+	// a crash loses at most one interval of updates.
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS: fastest, loses whatever the
+	// page cache held on a power failure (a clean process crash loses
+	// nothing — the writes are already in the kernel).
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the -fsync flag values to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync policy %q (have always, interval, never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// Options tune a backend.
+type Options struct {
+	// Fsync is the WAL flush policy. Default FsyncAlways.
+	Fsync FsyncPolicy
+	// SyncInterval is the background flush period under FsyncInterval.
+	// Default 100ms.
+	SyncInterval time.Duration
+	// KeepCheckpoints is how many most-recent checkpoints to retain (the
+	// older ones are the corruption fallbacks). Default 2, minimum 1.
+	KeepCheckpoints int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	if o.KeepCheckpoints < 1 {
+		o.KeepCheckpoints = 2
+	}
+	return o
+}
+
+// RecoveryHandler receives a store's recovered contents in order: Restore
+// at most once (absent when no valid checkpoint exists), then Replay per
+// valid WAL record. An error from either aborts recovery.
+type RecoveryHandler interface {
+	Restore(st *engine.State) error
+	Replay(batch []engine.Update) error
+}
+
+// RecoveryStats summarizes what Recover found.
+type RecoveryStats struct {
+	// CheckpointSeq and CheckpointVersion identify the checkpoint restored
+	// from (zero when none was found).
+	CheckpointSeq     uint64 `json:"checkpoint_seq"`
+	CheckpointVersion uint64 `json:"checkpoint_version"`
+	// CheckpointsSkipped counts newer checkpoints that existed but failed
+	// validation and were passed over.
+	CheckpointsSkipped int `json:"checkpoints_skipped,omitempty"`
+	// Records and Updates count the replayed WAL tail.
+	Records int `json:"records"`
+	Updates int `json:"updates"`
+	// Truncated reports that a torn or corrupt record was found and the
+	// WAL was cut off there.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// CheckpointStats summarizes one written checkpoint.
+type CheckpointStats struct {
+	// Seq is the checkpoint's sequence number (monotone per store).
+	Seq uint64 `json:"seq"`
+	// Version is the engine mutation version at the cut.
+	Version uint64 `json:"version"`
+	// Keys and RetainedEntries size the cut.
+	Keys            int `json:"keys"`
+	RetainedEntries int `json:"retained_entries"`
+	// Bytes is the encoded checkpoint size on disk.
+	Bytes int `json:"bytes"`
+	// WALRecordsDropped counts WAL records made obsolete (pruned) by this
+	// checkpoint.
+	WALRecordsDropped int `json:"wal_records_dropped"`
+}
+
+// Store persists an engine's stream. Append/Sync serve the write-ahead
+// log (Append is safe for concurrent use — it is the engine's Journal,
+// called under the engine's shard locks). Checkpoint atomically persists
+// a full sketch state and prunes the WAL prefix it covers; the state is
+// produced by the cut callback, which the backend invokes only AFTER it
+// has sealed the WAL position the checkpoint claims to cover (the file
+// backend rotates to a fresh segment first) — callers must not cut
+// early, or updates journaled between the cut and the seal are pruned
+// unreplayed. Recover must be called exactly once, before any Append.
+// Close flushes and releases the backend without checkpointing.
+type Store interface {
+	engine.Journal
+	Sync() error
+	Checkpoint(cut func() *engine.State) (CheckpointStats, error)
+	Recover(h RecoveryHandler) (RecoveryStats, error)
+	Close() error
+}
+
+// Opener constructs a backend rooted at path.
+type Opener func(path string, opt Options) (Store, error)
+
+var (
+	regMu    sync.Mutex
+	backends = map[string]Opener{}
+)
+
+// Register adds a backend under name; the name must be unused. The file
+// and null backends self-register; external backends (an S3 or raft
+// store) plug in the same way.
+func Register(name string, op Opener) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := backends[name]; dup {
+		panic(fmt.Sprintf("store: backend %q registered twice", name))
+	}
+	backends[name] = op
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	names := make([]string, 0, len(backends))
+	for n := range backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Open resolves a spec of the form "backend:path" — "file:/var/lib/monestd",
+// "null:" — against the registry. A spec without a backend prefix is a
+// path for the file backend, so a bare -data-dir just works.
+func Open(spec string, opt Options) (Store, error) {
+	backend, path := "file", spec
+	if i := strings.Index(spec, ":"); i > 0 {
+		if name := spec[:i]; !strings.Contains(name, "/") {
+			backend, path = name, spec[i+1:]
+		}
+	}
+	regMu.Lock()
+	op, ok := backends[backend]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: unknown backend %q (have %s)", backend, strings.Join(Backends(), ", "))
+	}
+	return op(path, opt.withDefaults())
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/order"
 	"repro/internal/sampling"
+	"repro/internal/store"
 )
 
 // Sampling substrate.
@@ -177,6 +178,52 @@ type (
 
 // NewEngine returns an empty streaming sketch engine.
 func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// Durability (internal/store): write-ahead logging of engine updates,
+// compact sketch checkpoints, and crash recovery for the streaming
+// engine. See DESIGN.md §6.6 for the on-disk formats and invariants.
+type (
+	// EngineState is a portable, deterministic serialization of an
+	// engine's full sketch state — what checkpoints and /v1/export carry.
+	EngineState = engine.State
+	// Store persists engine updates (WAL) and state checkpoints; open one
+	// with OpenStore and wire it to an engine with AttachStore.
+	Store = store.Store
+	// StoreOptions selects the WAL fsync policy and checkpoint retention.
+	StoreOptions = store.Options
+	// StorePersistence couples a recovered engine with its store:
+	// journaled ingest plus Checkpoint/Sync/Close lifecycle.
+	StorePersistence = store.Persistence
+	// RecoveryStats reports what a boot-time recovery restored/replayed.
+	RecoveryStats = store.RecoveryStats
+	// CheckpointStats reports what one checkpoint wrote and truncated.
+	CheckpointStats = store.CheckpointStats
+)
+
+// WAL fsync policies for StoreOptions.
+const (
+	FsyncAlways   = store.FsyncAlways
+	FsyncInterval = store.FsyncInterval
+	FsyncNever    = store.FsyncNever
+)
+
+// OpenStore opens a persistence backend from a "backend:path" spec (a
+// bare path selects the file backend).
+func OpenStore(spec string, opt StoreOptions) (Store, error) { return store.Open(spec, opt) }
+
+// AttachStore recovers an empty engine from the store and journals every
+// subsequent ingest through it. The returned Persistence owns both ends:
+// Close flushes, checkpoints, and closes the store.
+func AttachStore(e *Engine, st Store) (*StorePersistence, RecoveryStats, error) {
+	return store.Attach(e, st)
+}
+
+// EncodeEngineState serializes a state cut (Engine.DumpState) into the
+// integrity-checked binary artifact /v1/export serves.
+func EncodeEngineState(st *EngineState) []byte { return store.EncodeState(st) }
+
+// DecodeEngineState parses and validates an exported state artifact.
+func DecodeEngineState(data []byte) (*EngineState, error) { return store.DecodeState(data) }
 
 // Estimator registry — the pluggable estimator zoo of the serving path
 // (internal/estreg): every batch estimator servable by name from a
