@@ -64,6 +64,17 @@ type Engine struct {
 	// rebuildMu single-flights cache-miss rebuilds.
 	cache     atomic.Pointer[snapshotCacheEntry]
 	rebuildMu sync.Mutex
+	// Incremental snapshot state (see partition.go), all guarded by
+	// rebuildMu: the per-shard reduced partitions, the global thresholds
+	// they were reduced under, the cached key-merge plan, and the epoch
+	// sequence stamping each partition reduction.
+	parts    []*partition
+	insts    []instThresholds
+	plan     *mergePlan
+	epochSeq uint64
+	// snapCtr observes the incremental rebuild path; counters are atomics
+	// only so Stats can read them without rebuildMu.
+	snapCtr snapshotCounters
 	// batch pools IngestBatch's shard-bucketing scratch (counts + reordered
 	// updates) so steady-state batches allocate nothing.
 	batch sync.Pool
@@ -79,6 +90,10 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("engine: shard count %d must be nonnegative", cfg.Shards)
+	}
+	if cfg.Shards > 65536 {
+		// The merge plan stores the owning shard per item as a uint16.
+		return nil, fmt.Errorf("engine: shard count %d exceeds 65536", cfg.Shards)
 	}
 	if cfg.Shards == 0 {
 		cfg.Shards = 16
@@ -293,6 +308,50 @@ type Stats struct {
 	// Version is the engine's mutation version as of the cut (see
 	// Engine.Version).
 	Version uint64 `json:"version"`
+	// Snapshot observes the incremental rebuild path (see partition.go).
+	Snapshot SnapshotStats `json:"snapshot"`
+	// PerShard breaks mutation/rebuild/key counts down by shard, in shard
+	// order — the observability handle for shard skew and dirty-shard
+	// churn.
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// SnapshotStats counts incremental snapshot rebuild work since engine
+// start.
+type SnapshotStats struct {
+	// Rebuilds counts snapshot rebuilds that produced a view (cache
+	// misses; cache hits are free and uncounted).
+	Rebuilds uint64 `json:"rebuilds"`
+	// PartitionsRebuilt and PartitionsReused split, across all rebuilds,
+	// how many per-shard partitions were re-reduced vs reused verbatim.
+	PartitionsRebuilt uint64 `json:"partitions_rebuilt"`
+	PartitionsReused  uint64 `json:"partitions_reused"`
+	// ThresholdRefreshes counts rebuilds where the global thresholds moved,
+	// forcing every partition to re-reduce despite clean shards.
+	ThresholdRefreshes uint64 `json:"threshold_refreshes"`
+	// PlanRebuilds counts key-merge-plan reconstructions (new keys
+	// appeared; weight-only churn reuses the plan).
+	PlanRebuilds uint64 `json:"plan_rebuilds"`
+}
+
+// ShardStats is one shard's row in Stats.PerShard.
+type ShardStats struct {
+	// Mutations is the shard's mutation counter (these sum to Version).
+	Mutations uint64 `json:"mutations"`
+	// Keys counts distinct item keys routed to the shard.
+	Keys int `json:"keys"`
+	// PartitionRebuilds counts how often the shard's partition was
+	// re-reduced.
+	PartitionRebuilds uint64 `json:"partition_rebuilds"`
+}
+
+// snapshotCounters backs Stats.Snapshot; fields mirror SnapshotStats.
+type snapshotCounters struct {
+	rebuilds        atomic.Uint64
+	partsRebuilt    atomic.Uint64
+	partsReused     atomic.Uint64
+	threshRefreshes atomic.Uint64
+	planRebuilds    atomic.Uint64
 }
 
 // Stats returns a point-in-time summary. All shard locks are held while
@@ -311,13 +370,29 @@ func (e *Engine) Stats() Stats {
 	// Ingests and the version counters bump under shard locks, so reading
 	// them inside the cut keeps them consistent with the content counts.
 	st.Ingests = e.ingests.Load()
-	for _, sh := range e.shards {
-		st.Version += sh.muts.Load()
+	st.PerShard = make([]ShardStats, len(e.shards))
+	for s, sh := range e.shards {
+		m := sh.muts.Load()
+		st.Version += m
 		st.Keys += len(sh.items)
 		st.ActiveEntries += sh.activeEntries
 		for i := range sh.heaps {
 			st.RetainedEntries += len(sh.heaps[i].es)
 		}
+		st.PerShard[s] = ShardStats{
+			Mutations:         m,
+			Keys:              len(sh.items),
+			PartitionRebuilds: sh.rebuilds.Load(),
+		}
+	}
+	// Rebuild counters bump under rebuildMu, not shard locks; they are
+	// advisory observability, not part of the consistent cut.
+	st.Snapshot = SnapshotStats{
+		Rebuilds:           e.snapCtr.rebuilds.Load(),
+		PartitionsRebuilt:  e.snapCtr.partsRebuilt.Load(),
+		PartitionsReused:   e.snapCtr.partsReused.Load(),
+		ThresholdRefreshes: e.snapCtr.threshRefreshes.Load(),
+		PlanRebuilds:       e.snapCtr.planRebuilds.Load(),
 	}
 	for _, sh := range e.shards {
 		sh.mu.Unlock()
@@ -330,8 +405,11 @@ func (e *Engine) Stats() Stats {
 // ingests; it bumps under mu so that consistent cuts read it exactly, and
 // is summed lock-free by Engine.Version.
 type shard struct {
-	mu            sync.Mutex
-	muts          atomic.Uint64
+	mu   sync.Mutex
+	muts atomic.Uint64
+	// rebuilds counts re-reductions of this shard's snapshot partition; it
+	// bumps under rebuildMu (not mu) and is read lock-free by Stats.
+	rebuilds      atomic.Uint64
 	items         map[uint64]*item
 	heaps         []bkHeap
 	activeEntries int

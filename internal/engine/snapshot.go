@@ -1,11 +1,9 @@
 package engine
 
 import (
-	"cmp"
 	"fmt"
 	"math"
 	"runtime"
-	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -14,20 +12,22 @@ import (
 	"repro/internal/sampling"
 )
 
-// This file is the snapshot pipeline: the all-shard consistent cut, the
-// allocation-lean arena reduction of the cut to per-item monotone
-// outcomes, and the versioned snapshot cache that lets repeat reads skip
-// both. The reduction is bit-identical to dataset.SampleBottomK (the
-// equivalence tests enforce it), so everything here is pure mechanics —
-// no estimation semantics.
+// This file is the snapshot pipeline's public surface and shared reduction
+// mechanics: the Snapshot/SnapshotView types, the versioned snapshot cache
+// that lets repeat reads skip all work, the conditional-threshold branch
+// precomputation, and the per-range merge-walk reduction. The incremental
+// per-shard partition maintenance that feeds it lives in partition.go. The
+// result is bit-identical to dataset.SampleBottomK (the equivalence tests
+// enforce it), so everything here is pure mechanics — no estimation
+// semantics.
 
 // Snapshot is a consistent cut of the engine reduced to per-item monotone
 // outcomes — the streaming equivalent of dataset.SampleBottomK's result.
 //
 // A snapshot may be shared between concurrent readers (CachedSnapshot
 // returns the same value to everyone until the engine mutates), and its
-// outcome Known/Vals slices are sub-slices of two shared arena arrays:
-// treat the whole structure as immutable.
+// outcome Known/Vals slices are sub-slices of shared arena arrays: treat
+// the whole structure as immutable.
 type Snapshot struct {
 	// Keys holds every ingested item key in ascending order, parallel to
 	// Sample.Outcomes.
@@ -49,13 +49,99 @@ func (s Snapshot) Index(key uint64) (int, bool) {
 	return 0, false
 }
 
-// snapshotCacheEntry is one published reduction: the snapshot, the
-// version it was cut at, and when the cut was taken (for bounded-staleness
-// serving).
+// SnapshotPart describes one shard's partition inside a SnapshotView.
+type SnapshotPart struct {
+	// Epoch identifies the partition's reduction. It changes exactly when
+	// the partition's outcome bytes change (shard mutated, or the global
+	// thresholds moved), so derived per-item results cached under an epoch
+	// can be reused bit-identically while it holds.
+	Epoch uint64
+	// Index maps the partition's t-th item (ascending key order within the
+	// shard) to its position in Keys (and in the materialized
+	// Snapshot().Sample.Outcomes).
+	Index []int32
+	// Outcomes holds the partition's reduced outcomes, parallel to Index.
+	// Consumers that aggregate per item (the server's estimate caches) can
+	// work from these directly and skip materializing the merged snapshot.
+	Outcomes []sampling.TupleOutcome
+}
+
+// SnapshotView is the engine's serving handle on a cut: the version, the
+// merged ascending key slice, and the per-shard reduced partitions. The
+// merged outcome array — the only O(total keys) artifact left in the
+// incremental pipeline — is NOT built up front: Snapshot() materializes
+// it on first call and caches it in the view's shared cell, so view-only
+// consumers (the server fast path) never pay for it. Views are shared
+// between readers and immutable.
+type SnapshotView struct {
+	// Version is the engine's mutation version as of the cut.
+	Version uint64
+	// Keys holds every ingested item key in ascending order.
+	Keys []uint64
+	// Parts has one entry per shard, in shard order. The Index slices form
+	// a partition of [0, len(Keys)).
+	Parts []SnapshotPart
+
+	// src is the merge plan's per-position owning shard — the gather order
+	// for materialization. sampled/total are the cut's storage accounting.
+	src            []uint16
+	sampled, total int
+	// cell caches the materialized merged sample; shared by every copy of
+	// this view, built at most once.
+	cell *viewCell
+}
+
+// viewCell is the lazily-materialized merged sample shared by all copies
+// of one SnapshotView.
+type viewCell struct {
+	once   sync.Once
+	sample dataset.CoordinatedSample
+}
+
+// Snapshot materializes the merged Snapshot for this view: outcomes in
+// ascending key order, bit-identical to dataset.SampleBottomK. The first
+// call per view pays one O(total keys) gather; repeat calls (and calls on
+// other copies of the same view) return the same cached value.
+func (v SnapshotView) Snapshot() Snapshot {
+	if v.cell == nil {
+		return Snapshot{}
+	}
+	v.cell.once.Do(func() {
+		outcomes := make([]sampling.TupleOutcome, len(v.Keys))
+		cur := make([]int, len(v.Parts))
+		for j, s := range v.src {
+			outcomes[j] = v.Parts[s].Outcomes[cur[s]]
+			cur[s]++
+		}
+		v.cell.sample = dataset.CoordinatedSample{
+			Outcomes:       outcomes,
+			SampledEntries: v.sampled,
+			TotalEntries:   v.total,
+		}
+	})
+	return Snapshot{Keys: v.Keys, Sample: v.cell.sample}
+}
+
+// Index is Snapshot.Index against the view's merged key order, without
+// materializing the outcomes.
+func (v SnapshotView) Index(key uint64) (int, bool) {
+	return Snapshot{Keys: v.Keys}.Index(key)
+}
+
+// SampledEntries reports the cut's retained sketch entry count (the
+// materialized sample's SampledEntries) without materializing it.
+func (v SnapshotView) SampledEntries() int { return v.sampled }
+
+// TotalEntries reports the cut's active entry count (the materialized
+// sample's TotalEntries) without materializing it.
+func (v SnapshotView) TotalEntries() int { return v.total }
+
+// snapshotCacheEntry is one published reduction: the view, the version it
+// was cut at, and when the cut was taken (for bounded-staleness serving).
 type snapshotCacheEntry struct {
 	version uint64
 	built   time.Time
-	snap    Snapshot
+	view    SnapshotView
 }
 
 // Snapshot reduces the live sketches to per-item outcomes via the shared
@@ -66,13 +152,14 @@ type snapshotCacheEntry struct {
 // sampler seeds item k with hash.U(uint64(k)). Sparse or string-hashed
 // keys yield the same reduction over their own seed set.
 //
-// All shards are locked only while the sketch contents are copied out (a
-// consistent cut proportional to the sketch size); the reduction itself
-// runs lock-free on the copy, so writers stall for the copy, not the
-// math. The result is also published to the snapshot cache.
+// The rebuild is incremental: shards whose mutation counter is unchanged
+// since the last snapshot keep their reduced partition verbatim, so the
+// cost is proportional to the touched shards plus the final merge — not
+// the total key count (see partition.go). All shards are locked only
+// while dirty sketch contents are copied out; the reduction runs
+// lock-free on the copies. The result is published to the snapshot cache.
 func (e *Engine) Snapshot() Snapshot {
-	snap, _ := e.FreshSnapshot()
-	return snap
+	return e.FreshView().Snapshot()
 }
 
 // FreshSnapshot is Snapshot plus the version the cut was taken at, read
@@ -81,7 +168,18 @@ func (e *Engine) Snapshot() Snapshot {
 // Callers keying memoized results by version must use this (or
 // CachedSnapshot), never the two-call sequence.
 func (e *Engine) FreshSnapshot() (Snapshot, uint64) {
-	return e.freshSnapshot()
+	v := e.FreshView()
+	return v.Snapshot(), v.Version
+}
+
+// FreshView returns an exact-cut SnapshotView. "Fresh" means exact, not
+// recomputed: the cut itself verifies which cached partitions (and
+// possibly the whole published snapshot) are still byte-identical to a
+// from-scratch reduction, and reuses them.
+func (e *Engine) FreshView() SnapshotView {
+	e.rebuildMu.Lock()
+	defer e.rebuildMu.Unlock()
+	return e.rebuildLocked()
 }
 
 // CachedSnapshot returns the engine's current snapshot, reusing the last
@@ -98,43 +196,42 @@ func (e *Engine) FreshSnapshot() (Snapshot, uint64) {
 // (Engine.Version at cut time); callers memoizing derived results key
 // them by it. The snapshot is shared — treat it as immutable.
 func (e *Engine) CachedSnapshot(maxStale time.Duration) (Snapshot, uint64) {
-	if snap, version, ok := e.cachedHit(maxStale); ok {
-		return snap, version
+	v := e.CachedView(maxStale)
+	return v.Snapshot(), v.Version
+}
+
+// CachedView is CachedSnapshot returning the full SnapshotView.
+func (e *Engine) CachedView(maxStale time.Duration) SnapshotView {
+	if v, ok := e.cachedHit(maxStale); ok {
+		return v
 	}
 	// Single-flight the rebuild: when one mutation invalidates the cache
-	// under many concurrent readers, exactly one pays the reduction and
-	// the rest wait for its published result instead of each re-cutting
-	// the shards (which would also serialize writers N times over).
+	// under many concurrent readers, exactly one pays the (incremental)
+	// rebuild and the rest wait for its published result instead of each
+	// re-cutting the shards (which would also serialize writers N times
+	// over).
 	e.rebuildMu.Lock()
 	defer e.rebuildMu.Unlock()
-	if snap, version, ok := e.cachedHit(maxStale); ok {
-		return snap, version
+	if v, ok := e.cachedHit(maxStale); ok {
+		return v
 	}
-	return e.freshSnapshot()
+	return e.rebuildLocked()
 }
 
-// cachedHit returns the cached snapshot when it is current (or within the
+// cachedHit returns the cached view when it is current (or within the
 // staleness bound).
-func (e *Engine) cachedHit(maxStale time.Duration) (Snapshot, uint64, bool) {
+func (e *Engine) cachedHit(maxStale time.Duration) (SnapshotView, bool) {
 	c := e.cache.Load()
 	if c == nil {
-		return Snapshot{}, 0, false
+		return SnapshotView{}, false
 	}
 	if c.version == e.Version() {
-		return c.snap, c.version, true
+		return c.view, true
 	}
 	if maxStale > 0 && time.Since(c.built) <= maxStale {
-		return c.snap, c.version, true
+		return c.view, true
 	}
-	return Snapshot{}, 0, false
-}
-
-// freshSnapshot cuts, reduces and publishes a new snapshot.
-func (e *Engine) freshSnapshot() (Snapshot, uint64) {
-	cut := e.collect()
-	snap := cut.reduce(&e.cfg)
-	e.publish(&snapshotCacheEntry{version: cut.version, built: cut.at, snap: snap})
-	return snap, cut.version
+	return SnapshotView{}, false
 }
 
 // publish installs the entry unless a newer version is already cached.
@@ -150,54 +247,6 @@ func (e *Engine) publish(en *snapshotCacheEntry) {
 			return
 		}
 	}
-}
-
-// engineCut is the raw data copied out of the shards under the all-shard
-// lock: everything reduce needs, nothing aliasing live engine state.
-// Seeds are not copied — they are pure functions of the key
-// (Config.Hash.U), recomputed during the reduction.
-type engineCut struct {
-	version       uint64
-	at            time.Time
-	activeEntries int
-	keys          []uint64    // unsorted item keys
-	retained      [][]bkEntry // per instance, all shards' heap entries, unsorted
-}
-
-// collect takes the consistent cut: all shard locks in index order, copy
-// out items and heap entries, read the version, release.
-func (e *Engine) collect() engineCut {
-	for _, sh := range e.shards {
-		sh.mu.Lock()
-	}
-	cut := engineCut{at: time.Now(), retained: make([][]bkEntry, e.cfg.Instances)}
-	total := 0
-	for _, sh := range e.shards {
-		total += len(sh.items)
-	}
-	cut.keys = make([]uint64, 0, total)
-	for _, sh := range e.shards {
-		cut.version += sh.muts.Load()
-		cut.activeEntries += sh.activeEntries
-		for key := range sh.items {
-			cut.keys = append(cut.keys, key)
-		}
-	}
-	for i := range cut.retained {
-		n := 0
-		for _, sh := range e.shards {
-			n += len(sh.heaps[i].es)
-		}
-		ents := make([]bkEntry, 0, n)
-		for _, sh := range e.shards {
-			ents = append(ents, sh.heaps[i].es...)
-		}
-		cut.retained[i] = ents
-	}
-	for _, sh := range e.shards {
-		sh.mu.Unlock()
-	}
-	return cut
 }
 
 // instThresholds is one instance's precomputed conditional-threshold
@@ -228,14 +277,14 @@ func newInstThresholds(smallest []float64, k int) instThresholds {
 	return th
 }
 
-// reduceParallelMin is the snapshot size (items × instances) below which
+// reduceParallelMin is the partition size (items × instances) below which
 // the reduction stays single-threaded — goroutine fan-out costs more than
 // it saves on small cuts.
 const reduceParallelMin = 1 << 13
 
-// reduceWorkers picks the reduction fan-out for a cut of cells = items ×
-// instances. A variable so tests can force multi-chunk reductions (and
-// their chunk-boundary cursor seeding) on single-CPU machines.
+// reduceWorkers picks the reduction fan-out for a partition of cells =
+// items × instances. A variable so tests can force multi-chunk reductions
+// (and their chunk-boundary cursor seeding) on single-CPU machines.
 var reduceWorkers = func(cells int) int {
 	w := runtime.GOMAXPROCS(0)
 	if cells < reduceParallelMin || w < 2 {
@@ -244,80 +293,20 @@ var reduceWorkers = func(cells int) int {
 	return w
 }
 
-// reduce turns the cut into outcomes. Layout over maps: keys and seeds
-// are parallel sorted slices, each instance's retained entries are a
-// key-sorted slice consumed by a merge walk, every outcome's Known/Vals
-// are sub-slices of two shared arena arrays (one []bool, one []float64,
-// each n·r), the few distinct τ*-vectors are interned so outcomes share
-// TupleScheme backing, and the per-item loop fans out across workers on
-// disjoint key ranges.
-func (cut *engineCut) reduce(cfg *Config) Snapshot {
-	r, k := cfg.Instances, cfg.K
-	n := len(cut.keys)
-	keys := cut.keys
-	slices.Sort(keys)
-
-	insts := make([]instThresholds, r)
-	var ranks []float64
-	for i := 0; i < r; i++ {
-		ents := cut.retained[i]
-		ranks = ranks[:0]
-		for _, en := range ents {
-			ranks = append(ranks, en.rank)
-		}
-		slices.SortFunc(ents, func(a, b bkEntry) int { return cmp.Compare(a.key, b.key) })
-		insts[i] = newInstThresholds(sampling.KSmallest(ranks, k+1), k)
-	}
-
-	snap := Snapshot{
-		Keys: keys,
-		Sample: dataset.CoordinatedSample{
-			Outcomes:     make([]sampling.TupleOutcome, n),
-			TotalEntries: cut.activeEntries,
-		},
-	}
-	if n == 0 {
-		return snap
-	}
-	knownArena := make([]bool, n*r)
-	valsArena := make([]float64, n*r)
-
-	workers := reduceWorkers(n * r)
-	chunk := (n + workers - 1) / workers
-	sampled := make([]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			sampled[w] = cut.reduceRange(cfg.Hash, insts, keys, snap.Sample.Outcomes, knownArena, valsArena, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, s := range sampled {
-		snap.Sample.SampledEntries += s
-	}
-	return snap
-}
-
-// reduceRange fills outcomes[lo:hi] and returns the number of sampled
-// entries in the range. Workers touch disjoint outcome and arena ranges,
-// so no synchronization is needed beyond the final join. Seeds are
-// recomputed from the keys (hash.U is the splitmix64 finalizer — cheaper
-// than carrying a second sorted array through the cut).
-func (cut *engineCut) reduceRange(hash sampling.SeedHash, insts []instThresholds, keys []uint64, outcomes []sampling.TupleOutcome, knownArena []bool, valsArena []float64, lo, hi int) int {
+// reduceRange fills outcomes[lo:hi] from the key-sorted retained entries
+// and returns the number of sampled entries in the range. Workers touch
+// disjoint outcome and arena ranges, so no synchronization is needed
+// beyond the final join. Seeds are recomputed from the keys (hash.U is
+// the splitmix64 finalizer — cheaper than carrying a second sorted array
+// through the cut).
+func reduceRange(hash sampling.SeedHash, insts []instThresholds, keys []uint64, retained [][]bkEntry, outcomes []sampling.TupleOutcome, knownArena []bool, valsArena []float64, lo, hi int) int {
 	r := len(insts)
 	// cur[i] walks instance i's key-sorted retained entries in lockstep
 	// with the ascending key loop — the merge walk replacing per-item map
 	// lookups.
 	cur := make([]int, r)
 	for i := range cur {
-		ents := cut.retained[i]
+		ents := retained[i]
 		first := keys[lo]
 		cur[i] = sort.Search(len(ents), func(x int) bool { return ents[x].key >= first })
 	}
@@ -331,7 +320,7 @@ func (cut *engineCut) reduceRange(hash sampling.SeedHash, insts []instThresholds
 	for j := lo; j < hi; j++ {
 		key := keys[j]
 		for i := 0; i < r; i++ {
-			ents := cut.retained[i]
+			ents := retained[i]
 			c := cur[i]
 			for c < len(ents) && ents[c].key < key {
 				c++

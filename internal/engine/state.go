@@ -189,8 +189,12 @@ func (e *Engine) RestoreState(st *State) error {
 	e.applyState(st, false)
 	e.ingests.Store(st.Ingests)
 	// Park the whole dumped version on shard 0 so Version() continues from
-	// the cut; applyState deliberately skipped per-mutation bumps.
+	// the cut; applyState deliberately skipped per-mutation bumps. That
+	// parking bypasses per-shard mutation accounting, so any snapshot
+	// partitions cut before the restore (shards 1..N-1 still read muts=0)
+	// would wrongly pass the cleanliness check — drop them all.
 	e.shards[0].muts.Store(st.Version)
+	e.resetSnapshotState()
 	return nil
 }
 

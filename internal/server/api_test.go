@@ -1,0 +1,555 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/estreg"
+	"repro/internal/funcs"
+	"repro/internal/sampling"
+)
+
+// These tests pin the /v1 response contract introduced with the
+// partitioned snapshot pipeline: a top-level snapshot version on every
+// read endpoint, one structured error envelope for everything (including
+// requests that never reach a handler), the snapshot maintenance counters
+// in /v1/stats and /metrics, and — the acceptance property — that serving
+// through the incremental per-partition path stays bit-identical to the
+// batch pipeline under single-key mutations.
+
+// TestResponseVersionField: every snapshot-backed endpoint reports the
+// same top-level version while the engine is unchanged, and the version
+// advances after an ingest.
+func TestResponseVersionField(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestDataset(t, ts.URL, ladderDataset(t, 24))
+
+	read := func(path string, post bool) float64 {
+		t.Helper()
+		var resp *http.Response
+		var body map[string]any
+		if post {
+			resp, body = postJSON(t, ts.URL+path, map[string]any{
+				"queries": []map[string]any{{"statistic": "sum"}},
+			})
+		} else {
+			resp, body = getJSON(t, ts.URL+path)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d body %v", path, resp.StatusCode, body)
+		}
+		v, ok := body["version"].(float64)
+		if !ok {
+			t.Fatalf("%s: no numeric top-level version in %v", path, body)
+		}
+		return v
+	}
+
+	paths := []struct {
+		path string
+		post bool
+	}{
+		{"/v1/estimate/sum?func=rg&p=1&estimator=lstar", false},
+		{"/v1/estimate/jaccard", false},
+		{"/v1/stats", false},
+		{"/v1/query", true},
+	}
+	first := read(paths[0].path, paths[0].post)
+	if first == 0 {
+		t.Fatal("version 0 after ingest")
+	}
+	for _, p := range paths[1:] {
+		if v := read(p.path, p.post); v != first {
+			t.Fatalf("%s: version %v, want %v (engine unchanged)", p.path, v, first)
+		}
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+		"updates": []map[string]any{{"instance": 0, "key": "fresh", "weight": 1}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d body %v", resp.StatusCode, body)
+	}
+	for _, p := range paths {
+		if v := read(p.path, p.post); v <= first {
+			t.Fatalf("%s: version %v did not advance past %v after ingest", p.path, v, first)
+		}
+	}
+}
+
+// TestUnroutedRequestsUseErrorEnvelope: the mux-level fallbacks — unknown
+// path and wrong method — answer with the same JSON error envelope as
+// handler errors, with the 405 keeping its Allow header.
+func TestUnroutedRequestsUseErrorEnvelope(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp, body := getJSON(t, ts.URL+"/v1/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("unknown path: Content-Type %q, want application/json", ct)
+	}
+	errObj, ok := body["error"].(map[string]any)
+	if !ok || errObj["code"] != "not_found" {
+		t.Fatalf("unknown path: body %v, want error.code not_found", body)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = decodeBody(t, resp)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("wrong method: status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); !strings.Contains(allow, http.MethodGet) {
+		t.Fatalf("wrong method: Allow %q, want it to offer GET", allow)
+	}
+	errObj, ok = body["error"].(map[string]any)
+	if !ok || errObj["code"] != "method_not_allowed" {
+		t.Fatalf("wrong method: body %v, want error.code method_not_allowed", body)
+	}
+}
+
+// TestStatsSnapshotCounters: /v1/stats exposes the snapshot maintenance
+// counters and the per-shard breakdown, and they are mutually consistent
+// — per-shard mutations sum to the version, per-shard keys sum to the
+// key count, and single-key churn shows up as partition reuse.
+func TestStatsSnapshotCounters(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestDataset(t, ts.URL, ladderDataset(t, 48))
+
+	// Churn one key, snapshotting in between, so rebuilds reuse the three
+	// clean shards (Shards=4 in newTestServer).
+	for round := 0; round < 4; round++ {
+		resp, body := postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+			"updates": []map[string]any{{"instance": 0, "id": 0, "weight": float64(100 + round)}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest: status %d body %v", resp.StatusCode, body)
+		}
+		if resp, body := getJSON(t, ts.URL+"/v1/estimate/sum?estimator=lstar"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate: status %d body %v", resp.StatusCode, body)
+		}
+	}
+
+	resp, body := getJSON(t, ts.URL+"/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d body %v", resp.StatusCode, body)
+	}
+	eng := body["engine"].(map[string]any)
+	snap, ok := eng["snapshot"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats: no engine.snapshot in %v", eng)
+	}
+	if snap["rebuilds"].(float64) == 0 {
+		t.Fatalf("stats: zero snapshot rebuilds: %v", snap)
+	}
+	if snap["partitions_reused"].(float64) == 0 {
+		t.Fatalf("stats: zero partitions reused under single-key churn: %v", snap)
+	}
+	if snap["partitions_rebuilt"].(float64) == 0 {
+		t.Fatalf("stats: zero partitions rebuilt: %v", snap)
+	}
+
+	perShard, ok := eng["per_shard"].([]any)
+	if !ok || len(perShard) != int(eng["shards"].(float64)) {
+		t.Fatalf("stats: per_shard %v, want one entry per shard", eng["per_shard"])
+	}
+	var muts, keys, rebuilds float64
+	for _, raw := range perShard {
+		sh := raw.(map[string]any)
+		muts += sh["mutations"].(float64)
+		keys += sh["keys"].(float64)
+		rebuilds += sh["partition_rebuilds"].(float64)
+	}
+	if muts != body["version"].(float64) {
+		t.Fatalf("per-shard mutations sum %v != version %v", muts, body["version"])
+	}
+	if keys != eng["keys"].(float64) {
+		t.Fatalf("per-shard keys sum %v != engine keys %v", keys, eng["keys"])
+	}
+	if rebuilds != snap["partitions_rebuilt"].(float64) {
+		t.Fatalf("per-shard partition_rebuilds sum %v != snapshot partitions_rebuilt %v", rebuilds, snap["partitions_rebuilt"])
+	}
+}
+
+// TestMetricsSnapshotSeries: /metrics carries the snapshot counters and
+// the per-shard labeled series.
+func TestMetricsSnapshotSeries(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestDataset(t, ts.URL, ladderDataset(t, 24))
+	if resp, body := getJSON(t, ts.URL+"/v1/estimate/sum?estimator=lstar"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: status %d body %v", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"monest_snapshot_rebuilds_total",
+		"monest_snapshot_partitions_rebuilt_total",
+		"monest_snapshot_partitions_reused_total",
+		"monest_snapshot_threshold_refreshes_total",
+		"monest_snapshot_plan_rebuilds_total",
+		`monest_shard_mutations_total{shard="0"}`,
+		`monest_shard_partition_rebuilds_total{shard="0"}`,
+		`monest_shard_keys{shard="3"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestIncrementalServingStaysExact is the HTTP-level half of the
+// incremental-maintenance acceptance test: under a stream of single-key
+// mutations, /v1/query answers — served through partition reuse and the
+// per-partition estimate cache — stay bit-identical to the batch pipeline
+// (dataset.SampleBottomK + estreg.Sum) on the engine's current contents,
+// for the full SumResult (estimate, second moment, max item) and for the
+// Jaccard ratio.
+func TestIncrementalServingStaysExact(t *testing.T) {
+	ts, hash := newTestServer(t)
+	const n = 48
+	d := ladderDataset(t, n)
+	ingestDataset(t, ts.URL, d)
+
+	f, err := funcs.NewRG(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := estreg.Default()
+	sumEst, _, err := reg.Build("lstar", f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	andEst, _, err := reg.Build("lstar", funcs.AndTuple{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orEst, _, err := reg.Build("lstar", funcs.OrTuple{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// w mirrors the engine's max-folded contents across mutations.
+	w := make([][]float64, d.R())
+	for i := range w {
+		w[i] = append([]float64(nil), d.W[i]...)
+	}
+
+	lastVersion := -1.0
+	for round := 0; round < 24; round++ {
+		if round > 0 {
+			key := (round * 7) % n
+			weight := float64(10 + round) // above the ladder: always a real mutation
+			resp, body := postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+				"updates": []map[string]any{{"instance": round % 2, "id": key, "weight": weight}},
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("round %d: ingest status %d body %v", round, resp.StatusCode, body)
+			}
+			w[round%2][key] = weight
+		}
+
+		cur, err := dataset.New(nil, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := dataset.SampleBottomK(cur, 8, hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSum, err := estreg.Sum(sumEst, batch.Outcomes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAnd, err := estreg.Sum(andEst, batch.Outcomes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOr, err := estreg.Sum(orEst, batch.Outcomes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJac := 0.0
+		if wantOr.Estimate != 0 {
+			wantJac = wantAnd.Estimate / wantOr.Estimate
+		}
+
+		resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+			"queries": []map[string]any{
+				{"statistic": "sum", "func": "rg", "p": 1, "estimator": "lstar"},
+				{"statistic": "jaccard", "estimator": "lstar"},
+			},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: query status %d body %v", round, resp.StatusCode, body)
+		}
+		version := body["version"].(float64)
+		if version <= lastVersion {
+			t.Fatalf("round %d: version %v did not advance past %v", round, version, lastVersion)
+		}
+		lastVersion = version
+
+		results := body["results"].([]any)
+		sumRes := results[0].(map[string]any)
+		if sumRes["error"] != nil {
+			t.Fatalf("round %d: sum error %v", round, sumRes["error"])
+		}
+		for field, want := range map[string]float64{
+			"estimate":          wantSum.Estimate,
+			"second_moment":     wantSum.SecondMoment,
+			"max_item_estimate": wantSum.MaxItem,
+			"items":             float64(wantSum.Items),
+		} {
+			if got := sumRes[field].(float64); got != want {
+				t.Fatalf("round %d: sum %s = %v, want %v (drift on the incremental path)", round, field, got, want)
+			}
+		}
+		jacRes := results[1].(map[string]any)
+		if jacRes["error"] != nil {
+			t.Fatalf("round %d: jaccard error %v", round, jacRes["error"])
+		}
+		if got := jacRes["estimate"].(float64); got != wantJac {
+			t.Fatalf("round %d: jaccard %v, want %v", round, got, wantJac)
+		}
+	}
+
+	// The churn above must have actually exercised partition reuse — the
+	// counters prove the exact answers came via the incremental path.
+	_, body := getJSON(t, ts.URL+"/v1/stats")
+	snap := body["engine"].(map[string]any)["snapshot"].(map[string]any)
+	if snap["partitions_reused"].(float64) == 0 {
+		t.Fatalf("no partitions reused across %d single-key rounds: %v", 24, snap)
+	}
+}
+
+// TestEstimateAliasesMatchQuery: GET /v1/estimate/sum and
+// /v1/estimate/jaccard are thin aliases of the corresponding single-query
+// POST /v1/query — same snapshot version, same numbers, field for field.
+func TestEstimateAliasesMatchQuery(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestDataset(t, ts.URL, ladderDataset(t, 32))
+
+	resp, queryBody := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"queries": []map[string]any{
+			{"statistic": "sum", "func": "rgplus", "p": 2, "estimator": "ustar"},
+			{"statistic": "jaccard"},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d body %v", resp.StatusCode, queryBody)
+	}
+	results := queryBody["results"].([]any)
+	sumRes := results[0].(map[string]any)
+	jacRes := results[1].(map[string]any)
+
+	resp, sumAlias := getJSON(t, ts.URL+"/v1/estimate/sum?func=rgplus&p=2&estimator=ustar")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sum alias: status %d body %v", resp.StatusCode, sumAlias)
+	}
+	resp, jacAlias := getJSON(t, ts.URL+"/v1/estimate/jaccard")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("jaccard alias: status %d body %v", resp.StatusCode, jacAlias)
+	}
+
+	if sumAlias["version"] != queryBody["version"] || jacAlias["version"] != queryBody["version"] {
+		t.Fatalf("alias versions %v/%v != query version %v", sumAlias["version"], jacAlias["version"], queryBody["version"])
+	}
+	if sumAlias["estimate"] != sumRes["estimate"] {
+		t.Fatalf("sum alias estimate %v != query estimate %v", sumAlias["estimate"], sumRes["estimate"])
+	}
+	if sumAlias["estimator"] != sumRes["estimator"] {
+		t.Fatalf("sum alias estimator %v != query estimator %v", sumAlias["estimator"], sumRes["estimator"])
+	}
+	if jacAlias["jaccard"] != jacRes["estimate"] {
+		t.Fatalf("jaccard alias %v != query estimate %v", jacAlias["jaccard"], jacRes["estimate"])
+	}
+	snapInfo := queryBody["snapshot"].(map[string]any)
+	for _, field := range []string{"keys", "sampled_entries", "total_entries"} {
+		if sumAlias[field] != snapInfo[field] {
+			t.Fatalf("sum alias %s %v != query snapshot %v", field, sumAlias[field], snapInfo[field])
+		}
+	}
+}
+
+// TestPartialCacheSubsetAndErrorParity: subset selections bypass the
+// per-partition cache and must agree with a locally computed estreg.Sum
+// over the same items; a failing estimator surfaces estreg.Sum's exact
+// merged-index error message through the fallback path.
+func TestPartialCacheSubsetAndErrorParity(t *testing.T) {
+	hash := sampling.NewSeedHash(7)
+	eng, err := engine.New(engine.Config{Instances: 2, K: 8, Shards: 4, Hash: hash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := estreg.Default()
+	if err := reg.Register("alwaysfail", func(string, funcs.F, int) (estreg.Estimator, estreg.Meta, error) {
+		return alwaysFailEstimator{}, estreg.Meta{Estimator: "alwaysfail"}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewWith(eng, Config{Registry: reg}))
+	t.Cleanup(ts.Close)
+	d := ladderDataset(t, 32)
+	ingestDataset(t, ts.URL, d)
+
+	// Full-dataset first, so the partial cache is warm when the subset
+	// query arrives (the subset must not be answered from it).
+	if resp, body := getJSON(t, ts.URL+"/v1/estimate/sum?estimator=lstar"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up: status %d body %v", resp.StatusCode, body)
+	}
+
+	batch, err := dataset.SampleBottomK(d, 8, hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := funcs.NewRG(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, _, err := estreg.Default().Build("lstar", f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []int{2, 3, 5, 7}
+	want, err := estreg.Sum(est, batch.Outcomes, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]any, len(items))
+	for i, it := range items {
+		ids[i] = it
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"queries": []map[string]any{{"statistic": "sum", "estimator": "lstar", "ids": ids}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subset query: status %d body %v", resp.StatusCode, body)
+	}
+	res := body["results"].([]any)[0].(map[string]any)
+	if res["error"] != nil {
+		t.Fatalf("subset query error: %v", res["error"])
+	}
+	if got := res["estimate"].(float64); got != want.Estimate {
+		t.Fatalf("subset estimate %v, want %v", got, want.Estimate)
+	}
+
+	// The always-failing estimator: the partial path cannot serve it, and
+	// the fallback must reproduce estreg.Sum's merged-index error.
+	resp, body = postJSON(t, ts.URL+"/v1/query", map[string]any{
+		"queries": []map[string]any{{"statistic": "sum", "estimator": "alwaysfail"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failing query: status %d body %v", resp.StatusCode, body)
+	}
+	res = body["results"].([]any)[0].(map[string]any)
+	errObj, ok := res["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("failing estimator produced no error: %v", res)
+	}
+	wantMsg := fmt.Sprintf("estreg: item %d: %s", 0, "alwaysfail: no estimate")
+	if errObj["message"] != wantMsg {
+		t.Fatalf("error message %q, want %q (estreg.Sum parity)", errObj["message"], wantMsg)
+	}
+}
+
+// TestConcurrentQueriesDuringIngest churns single-key writes while many
+// readers hit the snapshot-backed endpoints — under -race this exercises
+// the partial-estimate cache, the result memo and the lazy snapshot
+// materialization against concurrent partition rebuilds. Readers only
+// sanity-check shape (finite estimate, version present); exactness under
+// churn is covered deterministically above.
+func TestConcurrentQueriesDuringIngest(t *testing.T) {
+	ts, _ := newTestServer(t)
+	ingestDataset(t, ts.URL, ladderDataset(t, 64))
+
+	stop := make(chan struct{})
+	var writer, readers sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, body := postJSON(t, ts.URL+"/v1/ingest", map[string]any{
+				"updates": []map[string]any{{"instance": i % 2, "id": (i * 11) % 64, "weight": float64(100 + i)}},
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("writer: status %d body %v", resp.StatusCode, body)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 50; i++ {
+				resp, body := postJSON(t, ts.URL+"/v1/query", map[string]any{
+					"queries": []map[string]any{
+						{"statistic": "sum", "estimator": "lstar"},
+						{"statistic": "jaccard"},
+					},
+				})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("reader: status %d body %v", resp.StatusCode, body)
+					return
+				}
+				if _, ok := body["version"].(float64); !ok {
+					t.Errorf("reader: no version in %v", body)
+					return
+				}
+				for _, raw := range body["results"].([]any) {
+					res := raw.(map[string]any)
+					if res["error"] != nil {
+						t.Errorf("reader: query error %v", res["error"])
+						return
+					}
+					if est := res["estimate"].(float64); math.IsNaN(est) || math.IsInf(est, 0) {
+						t.Errorf("reader: non-finite estimate %v", est)
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+// alwaysFailEstimator rejects every outcome — it exists to pin the error
+// path of the per-partition cache to estreg.Sum's behavior.
+type alwaysFailEstimator struct{}
+
+func (alwaysFailEstimator) Name() string { return "alwaysfail" }
+
+func (alwaysFailEstimator) Estimate(sampling.TupleOutcome) (float64, error) {
+	return 0, fmt.Errorf("alwaysfail: no estimate")
+}

@@ -32,8 +32,8 @@ import (
 //	   "estimator": "order:vals=0.25,0.5,1;by=desc"}
 //	]}
 //
-// Response: {"snapshot": {...}, "results": [...]} with one result per
-// query in request order. A query that fails (unknown estimator, arity
+// Response: {"version": N, "snapshot": {...}, "results": [...]} with one
+// result per query in request order. A query that fails (unknown estimator, arity
 // mismatch, unknown key) carries its own {"error": {...}} and does not
 // fail the batch; the request as a whole is 400 only when malformed.
 
@@ -79,6 +79,7 @@ type queryRequest struct {
 }
 
 type queryResponse struct {
+	Version  uint64        `json:"version"`
 	Snapshot snapshotInfo  `json:"snapshot"`
 	Results  []queryResult `json:"results"`
 }
@@ -199,10 +200,10 @@ func (q *plannedQuery) failure(status int, err error) queryResult {
 	}
 }
 
-// items resolves the spec's selection against the snapshot (nil = all).
-// The selection is a set: a key named twice, or once as a string and once
-// as its raw id, counts once — never double-counting the sum.
-func (q *plannedQuery) items(snap engine.Snapshot) ([]int, error) {
+// items resolves the spec's selection against the snapshot view (nil =
+// all). The selection is a set: a key named twice, or once as a string and
+// once as its raw id, counts once — never double-counting the sum.
+func (q *plannedQuery) items(snap engine.SnapshotView) ([]int, error) {
 	if len(q.spec.Keys) == 0 && len(q.spec.IDs) == 0 {
 		return nil, nil
 	}
@@ -231,19 +232,33 @@ func (q *plannedQuery) items(snap engine.Snapshot) ([]int, error) {
 	return items, nil
 }
 
-// eval answers the query from the shared snapshot.
-func (q *plannedQuery) eval(snap engine.Snapshot) queryResult {
-	items, err := q.items(snap)
+// eval answers the query from the shared snapshot view. Whole-dataset
+// sums go through the per-partition estimate cache when one is supplied:
+// only partitions whose epoch moved re-run the estimator, and the merged
+// outcome array is never materialized. Subset selections and cache
+// misses (or estimator errors, which must surface with estreg.Sum's
+// exact message) fall back to estreg.Sum over the materialized snapshot
+// — the two paths are bit-identical by construction.
+func (q *plannedQuery) eval(view engine.SnapshotView, partials *partialEstimates) queryResult {
+	items, err := q.items(view)
 	if err != nil {
 		return q.failure(http.StatusBadRequest, err)
 	}
+	sum := func(est estreg.Estimator, variant string) (estreg.SumResult, error) {
+		if items == nil && partials != nil {
+			if res, ok := partials.sum(q.planKey+variant, est, view); ok {
+				return res, nil
+			}
+		}
+		return estreg.Sum(est, view.Snapshot().Sample.Outcomes, items)
+	}
 	switch q.statistic {
 	case "jaccard":
-		and, err := estreg.Sum(q.est, snap.Sample.Outcomes, items)
+		and, err := sum(q.est, "\x00and")
 		if err != nil {
 			return q.failure(http.StatusBadRequest, err)
 		}
-		or, err := estreg.Sum(q.orEst, snap.Sample.Outcomes, items)
+		or, err := sum(q.orEst, "\x00or")
 		if err != nil {
 			return q.failure(http.StatusBadRequest, err)
 		}
@@ -261,7 +276,7 @@ func (q *plannedQuery) eval(snap engine.Snapshot) queryResult {
 			Items:     and.Items,
 		}
 	default: // "sum"; plan admits nothing else
-		res, err := estreg.Sum(q.est, snap.Sample.Outcomes, items)
+		res, err := sum(q.est, "")
 		if err != nil {
 			return q.failure(http.StatusBadRequest, err)
 		}
@@ -322,19 +337,20 @@ func (s *Server) handleQuery(r *http.Request) (int, any, error) {
 	// cache, so a batch against an unchanged engine takes no shard locks
 	// and does no reduction work; repeated queries additionally resolve
 	// from the per-version result memo without re-running estimators.
-	snap, version := s.snaps.AcquireSnapshot()
-	memo := s.memoFor(version)
+	view := s.snaps.AcquireSnapshot()
+	memo := s.memoFor(view.Version)
 	for i, q := range planned {
 		if q == nil {
 			continue // planning error already recorded
 		}
-		results[i] = s.evalMemoized(q, snap, memo)
+		results[i] = s.evalMemoized(q, view, memo)
 	}
 	return http.StatusOK, queryResponse{
+		Version: view.Version,
 		Snapshot: snapshotInfo{
-			Keys:           len(snap.Keys),
-			SampledEntries: snap.Sample.SampledEntries,
-			TotalEntries:   snap.Sample.TotalEntries,
+			Keys:           len(view.Keys),
+			SampledEntries: view.SampledEntries(),
+			TotalEntries:   view.TotalEntries(),
 		},
 		Results: results,
 	}, nil

@@ -26,7 +26,16 @@
 // Requests are strict: JSON bodies reject unknown fields and GET
 // endpoints reject unknown query parameters, both with a structured
 // {"error": {"code", "message"}} body — a typo like "estimtor" is a 400,
-// never a silently ignored default.
+// never a silently ignored default. The same envelope covers requests
+// that never reach a handler: unknown paths (404, code "not_found") and
+// wrong methods (405, code "method_not_allowed", Allow header preserved)
+// answer in JSON too, so clients parse exactly one error shape.
+//
+// Every snapshot-backed JSON response (/v1/query, /v1/estimate/*,
+// /v1/stats) carries a top-level "version": the engine mutation version
+// the answer reflects. Equal versions across responses mean they were
+// computed from identical engine contents; the version is also the key
+// of the server's result memo.
 //
 // Every read endpoint answers from ONE SnapshotSource — by default the
 // engine's versioned snapshot cache — and a per-version result memo
@@ -70,9 +79,11 @@ type Server struct {
 	started    time.Time
 	metrics    map[string]*endpointMetrics
 	// snaps is the one snapshot source every read endpoint answers from;
-	// memo caches evaluated results per snapshot version (snapshot.go).
-	snaps SnapshotSource
-	memo  atomic.Pointer[resultMemo]
+	// memo caches evaluated results per snapshot version, and partials
+	// caches per-partition estimate vectors across versions (snapshot.go).
+	snaps    SnapshotSource
+	memo     atomic.Pointer[resultMemo]
+	partials *partialEstimates
 	// persist, when set, backs /v1/checkpoint and makes /v1/import
 	// durable (see durable.go).
 	persist *store.Persistence
@@ -125,6 +136,8 @@ func errCode(status int) string {
 	switch {
 	case status == http.StatusNotFound:
 		return "not_found"
+	case status == http.StatusMethodNotAllowed:
+		return "method_not_allowed"
 	case status >= 400 && status < 500:
 		return "bad_request"
 	case status == http.StatusServiceUnavailable:
@@ -159,6 +172,7 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 		started:    time.Now(),
 		metrics:    make(map[string]*endpointMetrics),
 		snaps:      cfg.Snapshots,
+		partials:   newPartialEstimates(),
 		persist:    cfg.Persist,
 	}
 	s.route("POST /v1/ingest", s.handleIngest)
@@ -174,8 +188,56 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Requests that match no route — an
+// unknown path (404) or a known path with the wrong method (405) — get
+// the same structured {"error": {"code", "message"}} body every
+// registered endpoint uses, instead of the mux's plain-text defaults.
+// The mux still decides the status and the 405 Allow header; only the
+// body is replaced. Pattern-matched requests (including the mux's
+// path-cleaning redirects, which carry a pattern) pass through untouched.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if _, pattern := s.mux.Handler(r); pattern == "" {
+		probe := errorProbe{header: make(http.Header)}
+		s.mux.ServeHTTP(&probe, r)
+		code := probe.code
+		if code == 0 {
+			code = http.StatusNotFound
+		}
+		if allow := probe.header.Get("Allow"); allow != "" {
+			w.Header().Set("Allow", allow)
+		}
+		msg := fmt.Sprintf("no endpoint %s %s", r.Method, r.URL.Path)
+		if code == http.StatusMethodNotAllowed {
+			msg = fmt.Sprintf("method %s not allowed for %s (Allow: %s)", r.Method, r.URL.Path, probe.header.Get("Allow"))
+		}
+		writeJSON(w, code, map[string]apiError{"error": {Code: errCode(code), Message: msg}})
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorProbe captures the status and headers the mux's fallback handlers
+// (NotFoundHandler, the 405 responder) would have written, so ServeHTTP
+// can keep their routing decision while replacing the plain-text body.
+type errorProbe struct {
+	header http.Header
+	code   int
+}
+
+func (p *errorProbe) Header() http.Header { return p.header }
+
+func (p *errorProbe) WriteHeader(code int) {
+	if p.code == 0 {
+		p.code = code
+	}
+}
+
+func (p *errorProbe) Write(b []byte) (int, error) {
+	if p.code == 0 {
+		p.code = http.StatusOK
+	}
+	return len(b), nil
+}
 
 // route registers an instrumented handler. Handlers return a status code
 // and either a JSON-marshalable body or an error.
@@ -387,19 +449,20 @@ func (s *Server) handleEstimateSum(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusBadRequest, nil, err
 	}
-	snap, version := s.snaps.AcquireSnapshot()
-	res := s.evalMemoized(plan, snap, s.memoFor(version))
+	view := s.snaps.AcquireSnapshot()
+	res := s.evalMemoized(plan, view, s.memoFor(view.Version))
 	if res.Error != nil {
 		return res.status, nil, errors.New(res.Error.Message)
 	}
 	return http.StatusOK, map[string]any{
+		"version":         view.Version,
 		"estimate":        *res.Estimate,
 		"estimator":       res.Estimator,
 		"func":            plan.f.Name(),
 		"meta":            res.Meta,
-		"keys":            len(snap.Keys),
-		"sampled_entries": snap.Sample.SampledEntries,
-		"total_entries":   snap.Sample.TotalEntries,
+		"keys":            len(view.Keys),
+		"sampled_entries": view.SampledEntries(),
+		"total_entries":   view.TotalEntries(),
 	}, nil
 }
 
@@ -412,15 +475,16 @@ func (s *Server) handleEstimateJaccard(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusBadRequest, nil, err
 	}
-	snap, version := s.snaps.AcquireSnapshot()
-	res := s.evalMemoized(plan, snap, s.memoFor(version))
+	view := s.snaps.AcquireSnapshot()
+	res := s.evalMemoized(plan, view, s.memoFor(view.Version))
 	if res.Error != nil {
 		return res.status, nil, errors.New(res.Error.Message)
 	}
 	return http.StatusOK, map[string]any{
+		"version":   view.Version,
 		"jaccard":   *res.Estimate,
 		"estimator": res.Estimator,
-		"keys":      len(snap.Keys),
+		"keys":      len(view.Keys),
 	}, nil
 }
 
@@ -437,8 +501,10 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		}
 		endpoints[pattern] = es
 	}
+	st := s.eng.Stats()
 	return http.StatusOK, map[string]any{
-		"engine":         s.eng.Stats(),
+		"version":        st.Version,
+		"engine":         st,
 		"estimators":     s.reg.Names(),
 		"endpoints":      endpoints,
 		"uptime_seconds": time.Since(s.started).Seconds(),

@@ -5,21 +5,23 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/estreg"
 )
 
 // This file is the serving side of the engine's versioned snapshot cache:
-// one SnapshotSource feeds every endpoint, and a per-version result memo
-// turns repeat queries against an unchanged engine into pure lookups —
-// the steady-state read path takes no shard locks, does no snapshot
-// reduction and re-runs no estimators.
+// one SnapshotSource feeds every endpoint, a per-version result memo
+// turns repeat queries against an unchanged engine into pure lookups, and
+// a per-partition estimate cache makes whole-dataset sums proportional to
+// the partitions that actually changed — the steady-state read path takes
+// no shard locks, does no snapshot reduction and re-runs estimators only
+// over mutated shards.
 
-// SnapshotSource yields the snapshot a request is answered from together
-// with the engine version the snapshot was cut at. All endpoints of a
-// Server share one source; the version keys the server's per-version
-// result memo, so a source must return versions that change whenever the
-// returned snapshot's contents do.
+// SnapshotSource yields the snapshot view a request is answered from. All
+// endpoints of a Server share one source; the view's Version keys the
+// server's per-version result memo, so a source must return versions that
+// change whenever the returned view's contents do.
 type SnapshotSource interface {
-	AcquireSnapshot() (engine.Snapshot, uint64)
+	AcquireSnapshot() engine.SnapshotView
 }
 
 // cachedSource is the default source: the engine's lock-free versioned
@@ -30,22 +32,22 @@ type cachedSource struct {
 	maxStale time.Duration
 }
 
-func (c cachedSource) AcquireSnapshot() (engine.Snapshot, uint64) {
-	return c.eng.CachedSnapshot(c.maxStale)
+func (c cachedSource) AcquireSnapshot() engine.SnapshotView {
+	return c.eng.CachedView(c.maxStale)
 }
 
-// FreshSource returns a SnapshotSource that re-reduces a fresh snapshot
-// on every acquisition — the pre-cache behavior, kept for benchmarks and
-// tests that need an uncached baseline. The snapshot and version come
-// from one consistent cut (engine.FreshSnapshot); a separate Version()
-// call racing a writer could mislabel a pre-write snapshot with a
-// post-write version and poison the result memo.
+// FreshSource returns a SnapshotSource that performs an exact cut on
+// every acquisition — for benchmarks and tests that must never observe a
+// bounded-staleness view. The view and version come from one consistent
+// cut (engine.FreshView); a separate Version() call racing a writer could
+// mislabel a pre-write snapshot with a post-write version and poison the
+// result memo.
 func FreshSource(eng *engine.Engine) SnapshotSource { return freshSource{eng} }
 
 type freshSource struct{ eng *engine.Engine }
 
-func (f freshSource) AcquireSnapshot() (engine.Snapshot, uint64) {
-	return f.eng.FreshSnapshot()
+func (f freshSource) AcquireSnapshot() engine.SnapshotView {
+	return f.eng.FreshView()
 }
 
 // maxMemoEntries caps one version's memo so an adversarial query stream
@@ -97,12 +99,125 @@ func (s *Server) memoFor(version uint64) *resultMemo {
 
 // evalMemoized answers q from the memo when the same (version, query) was
 // evaluated before, evaluating and recording it otherwise.
-func (s *Server) evalMemoized(q *plannedQuery, snap engine.Snapshot, memo *resultMemo) queryResult {
+func (s *Server) evalMemoized(q *plannedQuery, view engine.SnapshotView, memo *resultMemo) queryResult {
 	key := q.memoKey()
 	if r, ok := memo.get(key); ok {
 		return r
 	}
-	r := q.eval(snap)
+	r := q.eval(view, s.partials)
 	memo.put(key, r)
 	return r
+}
+
+// maxPartialPlans caps how many distinct plans keep per-partition
+// estimate vectors; beyond it, new plans compute without caching
+// (adversarial distinct-estimator streams stay bounded at roughly
+// 8·keys·maxPartialPlans bytes).
+const maxPartialPlans = 32
+
+// partialVec is one plan's cached per-item estimates for one partition,
+// valid exactly while the partition's epoch holds (an unchanged epoch
+// guarantees byte-identical outcomes, and estimators are deterministic).
+type partialVec struct {
+	epoch uint64
+	ests  []float64
+}
+
+// partialEstimates caches per-partition estimate vectors keyed by plan.
+// A full-dataset sum then re-runs the estimator only over partitions
+// whose epoch moved since the last evaluation — under single-shard churn
+// that is 1/Shards of the items — while remaining bit-identical to
+// estreg.Sum over the merged outcomes (the same values are accumulated in
+// the same ascending-key order).
+type partialEstimates struct {
+	mu sync.Mutex
+	m  map[string]map[int]partialVec // plan key → shard → vector
+}
+
+func newPartialEstimates() *partialEstimates {
+	return &partialEstimates{m: make(map[string]map[int]partialVec)}
+}
+
+// sum evaluates a whole-dataset estreg.Sum against the view using cached
+// per-partition vectors. ok=false means the caller must fall back to
+// estreg.Sum over the materialized snapshot — either an estimator error
+// (the fallback reproduces estreg.Sum's exact merged-index error) or a
+// view without partition metadata.
+func (pe *partialEstimates) sum(planKey string, est estreg.Estimator, view engine.SnapshotView) (estreg.SumResult, bool) {
+	n := len(view.Keys)
+	if len(view.Parts) == 0 && n > 0 {
+		return estreg.SumResult{}, false
+	}
+	vecs := make([][]float64, len(view.Parts))
+	pe.mu.Lock()
+	plan := pe.m[planKey]
+	for s := range view.Parts {
+		if pv, ok := plan[s]; ok && pv.epoch == view.Parts[s].Epoch {
+			vecs[s] = pv.ests
+		}
+	}
+	pe.mu.Unlock()
+
+	// Scatter every partition's vector (cached or freshly computed) into
+	// merged-key positions, then accumulate in ascending order — the exact
+	// float operation sequence of estreg.Sum over the merged outcomes.
+	full := make([]float64, n)
+	covered := 0
+	var freshShards []int
+	for s, part := range view.Parts {
+		vec := vecs[s]
+		if vec == nil {
+			if len(vec) != len(part.Outcomes) {
+				vec = make([]float64, len(part.Outcomes))
+			}
+			for t, o := range part.Outcomes {
+				x, err := est.Estimate(o)
+				if err != nil {
+					return estreg.SumResult{}, false
+				}
+				vec[t] = x
+			}
+			vecs[s] = vec
+			freshShards = append(freshShards, s)
+		}
+		if len(vec) != len(part.Index) {
+			return estreg.SumResult{}, false // stale cache shape: bail out
+		}
+		for t, x := range vec {
+			full[part.Index[t]] = x
+		}
+		covered += len(vec)
+	}
+	if covered != n {
+		return estreg.SumResult{}, false
+	}
+
+	var res estreg.SumResult
+	for k := 0; k < n; k++ {
+		x := full[k]
+		res.Estimate += x
+		res.SecondMoment += x * x
+		if res.Items == 0 || x > res.MaxItem {
+			res.MaxItem = x
+		}
+		res.Items++
+	}
+
+	if len(freshShards) > 0 {
+		pe.mu.Lock()
+		plan = pe.m[planKey]
+		if plan == nil {
+			if len(pe.m) < maxPartialPlans {
+				plan = make(map[int]partialVec, len(view.Parts))
+				pe.m[planKey] = plan
+			}
+		}
+		if plan != nil {
+			for _, s := range freshShards {
+				plan[s] = partialVec{epoch: view.Parts[s].Epoch, ests: vecs[s]}
+			}
+		}
+		pe.mu.Unlock()
+	}
+	return res, true
 }
