@@ -5,8 +5,20 @@ GO             ?= go
 BENCH_OUT      ?= BENCH_local.json
 BENCH_BASELINE ?= BENCH_baseline.json
 BENCH_HEAD     ?= BENCH_head.json
+BENCH_GATE     ?= BENCH_gate.json
 
-.PHONY: build test race bench benchcmp lint
+# The hot-path allowlist the benchmark gate enforces (everything else
+# stays advisory via benchcmp). Names are post-GOMAXPROCS-strip; the $$
+# doubling is Makefile escaping for a literal $.
+GATE_ALLOW     ?= ^(BenchmarkIngestBatch|BenchmarkQueryInvalidated|BenchmarkStreamIngest256|BenchmarkSnapshotIncremental/keys=16384)$$
+# The matching `go test -bench` selectors. Two because go's slash-
+# segmented pattern treats a two-segment regex as sub-benchmark-only: a
+# leaf benchmark (no b.Run) never reports under it.
+GATE_BENCH     ?= ^(BenchmarkIngestBatch|BenchmarkQueryInvalidated|BenchmarkStreamIngest256)$$
+GATE_BENCH_SUB ?= ^BenchmarkSnapshotIncremental$$/^keys=16384$$
+GATE_MAX       ?= 1.30
+
+.PHONY: build test race bench bench-baseline benchcmp benchgate e2e lint
 
 build:
 	$(GO) build ./...
@@ -24,6 +36,16 @@ bench:
 	$(GO) test -json -run xxx -bench . -benchtime 1x ./internal/engine/ ./internal/server/ ./internal/store/ > $(BENCH_OUT)
 	@echo "benchmark results written to $(BENCH_OUT)"
 
+# Regenerates the committed baseline: the full 1-iteration sweep plus
+# stable (100x, 3-count) samples of the gated hot paths appended to the
+# same artifact — benchtext takes the per-name minimum across all
+# samples, so the gate compares against the stable ones.
+bench-baseline:
+	$(MAKE) bench BENCH_OUT=$(BENCH_BASELINE)
+	$(GO) test -json -run xxx -bench '$(GATE_BENCH)' -benchtime 100x -count 3 ./internal/engine/ ./internal/server/ >> $(BENCH_BASELINE)
+	$(GO) test -json -run xxx -bench '$(GATE_BENCH_SUB)' -benchtime 100x -count 3 ./internal/engine/ >> $(BENCH_BASELINE)
+	@echo "baseline regenerated in $(BENCH_BASELINE)"
+
 # Compares a bench run against the committed baseline
 # (BENCH_baseline.json), so the BENCH_* trajectory is comparable
 # PR-over-PR. Runs the suite unless BENCH_HEAD points at an existing
@@ -32,7 +54,7 @@ bench:
 # artifact). Uses benchstat when installed
 # (go install golang.org/x/perf/cmd/benchstat@latest); falls back to a
 # plain diff otherwise. cmd/benchtext converts the test2json artifacts
-# into the text format benchstat reads.
+# into the text format benchstat reads. Advisory: nothing fails here.
 benchcmp:
 ifeq ($(BENCH_HEAD),BENCH_head.json)
 	$(MAKE) bench BENCH_OUT=$(BENCH_HEAD)
@@ -47,7 +69,36 @@ endif
 		diff -u BENCH_baseline.txt BENCH_head.txt || true; \
 	fi
 
+# The gated comparison: reruns the allowlisted hot-path benchmarks with
+# enough iterations to be stable (100x, 3 counts; benchtext -gate takes
+# the per-name minimum) and FAILS when any regresses beyond GATE_MAX
+# against the committed baseline.
+benchgate:
+	$(GO) test -json -run xxx -bench '$(GATE_BENCH)' -benchtime 100x -count 3 ./internal/engine/ ./internal/server/ > $(BENCH_GATE)
+	$(GO) test -json -run xxx -bench '$(GATE_BENCH_SUB)' -benchtime 100x -count 3 ./internal/engine/ >> $(BENCH_GATE)
+	$(GO) run ./cmd/benchtext -gate -allow '$(GATE_ALLOW)' -max-regress $(GATE_MAX) $(BENCH_BASELINE) $(BENCH_GATE)
+
+# Full-wire end-to-end: builds monestd + loadgen, boots the daemon with a
+# data dir, streams binary ingest, verifies SSE pushes against /v1/query,
+# and exercises graceful drain. Build-tagged so plain `make test` skips it.
+e2e:
+	$(GO) test -tags e2e -count=1 -v ./e2e/
+
+# gofmt + vet always; staticcheck and govulncheck when installed (CI
+# installs both, so they gate there; locally they are skipped with a
+# note rather than forcing an install).
 lint:
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt -l found unformatted files:"; echo "$$fmt_out"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) vet -tags e2e ./e2e/
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not found; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not found; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi

@@ -10,15 +10,31 @@
 // With no arguments it reads test2json lines from stdin. Only the lines
 // benchstat understands are emitted: the goos/goarch/pkg/cpu header and
 // benchmark result lines.
+//
+// -gate turns benchtext into CI's regression gate over the hot-path
+// allowlist:
+//
+//	benchtext -gate -allow 'BenchmarkIngestBatch|...' -max-regress 1.30 \
+//	    BENCH_baseline.json BENCH_head.json
+//
+// It compares ns/op for every allowlisted benchmark (minimum across
+// repeated -count samples, the noise-robust statistic) and exits nonzero
+// when head/baseline exceeds -max-regress, or when an allowlisted
+// benchmark vanished from the head artifact. Benchmarks outside the
+// allowlist stay advisory — `make benchcmp` reports them, nothing fails.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -43,7 +59,9 @@ func isBenchText(line string) bool {
 	return resultLine.MatchString(line)
 }
 
-func convert(r io.Reader, w io.Writer) error {
+// extract gathers benchmark text lines from a test2json stream, grouped
+// by package in first-seen order.
+func extract(r io.Reader) (order []string, lines map[string][]string, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	// A benchmark's name and its result reach test2json as separate
@@ -55,8 +73,7 @@ func convert(r io.Reader, w io.Writer) error {
 	// preceding pkg/goos/cpu header block, which interleaving would
 	// scramble.
 	pending := make(map[string]string)
-	lines := make(map[string][]string)
-	var order []string
+	lines = make(map[string][]string)
 	collect := func(pkg, frag string) {
 		if _, seen := pending[pkg]; !seen {
 			order = append(order, pkg)
@@ -87,6 +104,14 @@ func convert(r io.Reader, w io.Writer) error {
 		collect(ev.Package, ev.Output)
 	}
 	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return order, lines, nil
+}
+
+func convert(r io.Reader, w io.Writer) error {
+	order, lines, err := extract(r)
+	if err != nil {
 		return err
 	}
 	for _, pkg := range order {
@@ -97,15 +122,143 @@ func convert(r io.Reader, w io.Writer) error {
 	return nil
 }
 
+// gmpSuffix is the trailing -N GOMAXPROCS marker go test appends to
+// benchmark names ("BenchmarkIngest-16"); stripped so artifacts from
+// machines with different core counts compare by logical name.
+var gmpSuffix = regexp.MustCompile(`-\d+$`)
+
+// loadNsPerOp parses an artifact into name → minimum ns/op across its
+// samples (repeated -count runs of one benchmark produce several result
+// lines; the minimum is the least-noisy summary of each).
+func loadNsPerOp(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	_, lines, err := extract(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	best := make(map[string]float64)
+	for _, pkgLines := range lines {
+		for _, line := range pkgLines {
+			if !resultLine.MatchString(line) {
+				continue
+			}
+			fields := strings.Fields(line)
+			name := gmpSuffix.ReplaceAllString(fields[0], "")
+			for i := 1; i < len(fields); i++ {
+				if fields[i] != "ns/op" {
+					continue
+				}
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad ns/op in %q", path, line)
+				}
+				if cur, ok := best[name]; !ok || v < cur {
+					best[name] = v
+				}
+				break
+			}
+		}
+	}
+	return best, nil
+}
+
+// gate compares allowlisted benchmarks between two artifacts and reports
+// whether any regressed beyond maxRegress. Results are written as a
+// table; the returned count is the number of failures.
+func gate(w io.Writer, baseline, head map[string]float64, allow *regexp.Regexp, maxRegress float64) int {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		if allow.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(w, "gate: allowlist %q matches no baseline benchmark — gating nothing is a misconfiguration\n", allow)
+		return 1
+	}
+	failures := 0
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark (gated)", "base ns/op", "head ns/op", "ratio")
+	for _, name := range names {
+		base := baseline[name]
+		hd, ok := head[name]
+		if !ok {
+			fmt.Fprintf(w, "%-60s %14.1f %14s %8s  FAIL (missing from head)\n", name, base, "-", "-")
+			failures++
+			continue
+		}
+		ratio := math.Inf(1)
+		if base > 0 {
+			ratio = hd / base
+		}
+		verdict := "ok"
+		if ratio > maxRegress {
+			verdict = fmt.Sprintf("FAIL (> %.2fx)", maxRegress)
+			failures++
+		}
+		fmt.Fprintf(w, "%-60s %14.1f %14.1f %7.2fx  %s\n", name, base, hd, ratio, verdict)
+	}
+	for name := range head {
+		if allow.MatchString(name) {
+			if _, ok := baseline[name]; !ok {
+				fmt.Fprintf(w, "%-60s %14s %14.1f %8s  new (no baseline, advisory)\n", name, "-", head[name], "-")
+			}
+		}
+	}
+	return failures
+}
+
+func runGate(allowPat string, maxRegress float64, paths []string) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("-gate needs exactly two artifacts: baseline head (got %d)", len(paths))
+	}
+	if maxRegress <= 1 {
+		return fmt.Errorf("-max-regress %g must exceed 1", maxRegress)
+	}
+	allow, err := regexp.Compile(allowPat)
+	if err != nil {
+		return fmt.Errorf("-allow: %w", err)
+	}
+	baseline, err := loadNsPerOp(paths[0])
+	if err != nil {
+		return err
+	}
+	head, err := loadNsPerOp(paths[1])
+	if err != nil {
+		return err
+	}
+	if n := gate(os.Stdout, baseline, head, allow, maxRegress); n > 0 {
+		return fmt.Errorf("%d gated benchmark(s) regressed beyond %.2fx (baseline %s, head %s)", n, maxRegress, paths[0], paths[1])
+	}
+	fmt.Println("gate: all gated benchmarks within bound")
+	return nil
+}
+
 func main() {
-	if len(os.Args) < 2 {
+	gateMode := flag.Bool("gate", false, "compare two artifacts and fail on allowlisted regressions")
+	allow := flag.String("allow", "", "regexp of benchmark names the gate enforces (-gate only)")
+	maxRegress := flag.Float64("max-regress", 1.30, "head/baseline ns/op ratio above which the gate fails (-gate only)")
+	flag.Parse()
+
+	if *gateMode {
+		if err := runGate(*allow, *maxRegress, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtext:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
 		if err := convert(os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtext:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	for _, path := range os.Args[1:] {
+	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchtext:", err)

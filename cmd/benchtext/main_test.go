@@ -1,6 +1,10 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -43,5 +47,87 @@ func TestConvertExtractsBenchLines(t *testing.T) {
 	// server line, since engine appeared first.
 	if ei, si := strings.Index(got, "9876 ns/op"), strings.Index(got, "11836 ns/op"); ei > si {
 		t.Errorf("package output interleaved (engine at %d, server at %d):\n%s", ei, si, got)
+	}
+}
+
+// artifact writes a minimal test2json artifact with one result line per
+// sample and returns its path.
+func artifact(t *testing.T, name string, results map[string][]float64) string {
+	t.Helper()
+	var b strings.Builder
+	for bench, samples := range results {
+		for _, ns := range samples {
+			b.WriteString(`{"Action":"output","Package":"repro/internal/engine","Output":"`)
+			b.WriteString(bench)
+			b.WriteString(`-8   \t  100\t      `)
+			b.WriteString(strconv.FormatFloat(ns, 'f', -1, 64))
+			b.WriteString(` ns/op\n"}` + "\n")
+		}
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadNsPerOpTakesMinAndStripsGOMAXPROCS(t *testing.T) {
+	path := artifact(t, "a.json", map[string][]float64{
+		"BenchmarkIngestBatch": {300, 120, 250},
+	})
+	got, err := loadNsPerOp(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkIngestBatch"] != 120 {
+		t.Fatalf("min ns/op = %g, want 120 (GOMAXPROCS suffix stripped); map %v", got["BenchmarkIngestBatch"], got)
+	}
+}
+
+func TestGatePassesWithinBound(t *testing.T) {
+	base := map[string]float64{"BenchmarkIngestBatch": 100, "BenchmarkOther": 100}
+	head := map[string]float64{"BenchmarkIngestBatch": 125, "BenchmarkOther": 900}
+	var out strings.Builder
+	// Other regressed 9x but is not allowlisted: advisory only.
+	if n := gate(&out, base, head, regexp.MustCompile(`^BenchmarkIngestBatch$`), 1.30); n != 0 {
+		t.Fatalf("gate failed within bound:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := map[string]float64{"BenchmarkIngestBatch": 100}
+	head := map[string]float64{"BenchmarkIngestBatch": 140}
+	var out strings.Builder
+	if n := gate(&out, base, head, regexp.MustCompile(`^BenchmarkIngestBatch$`), 1.30); n != 1 {
+		t.Fatalf("gate passed a 1.4x regression:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnMissingBenchmarkAndEmptyAllowlist(t *testing.T) {
+	base := map[string]float64{"BenchmarkIngestBatch": 100}
+	var out strings.Builder
+	if n := gate(&out, base, map[string]float64{}, regexp.MustCompile(`^BenchmarkIngestBatch$`), 1.30); n != 1 {
+		t.Fatal("gate passed though the gated benchmark vanished from head")
+	}
+	if n := gate(&out, base, base, regexp.MustCompile(`^BenchmarkNope$`), 1.30); n != 1 {
+		t.Fatal("gate passed an allowlist matching nothing")
+	}
+}
+
+func TestRunGateEndToEnd(t *testing.T) {
+	base := artifact(t, "base.json", map[string][]float64{"BenchmarkIngestBatch": {100}})
+	headOK := artifact(t, "ok.json", map[string][]float64{"BenchmarkIngestBatch": {104, 99}})
+	headBad := artifact(t, "bad.json", map[string][]float64{"BenchmarkIngestBatch": {200, 180}})
+	if err := runGate(`^BenchmarkIngestBatch$`, 1.30, []string{base, headOK}); err != nil {
+		t.Fatalf("in-bound head failed: %v", err)
+	}
+	if err := runGate(`^BenchmarkIngestBatch$`, 1.30, []string{base, headBad}); err == nil {
+		t.Fatal("1.8x regression passed the gate")
+	}
+	if err := runGate(`^BenchmarkIngestBatch$`, 1.30, []string{base}); err == nil {
+		t.Fatal("one artifact accepted")
+	}
+	if err := runGate(`^BenchmarkIngestBatch$`, 0.9, []string{base, headOK}); err == nil {
+		t.Fatal("max-regress <= 1 accepted")
 	}
 }

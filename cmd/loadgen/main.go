@@ -1,0 +1,292 @@
+// Command loadgen drives a running monestd through the streaming wire:
+// it pours synthetic updates into POST /v1/stream over concurrent binary
+// connections, holds SSE subscribers open on GET /v1/subscribe, and — with
+// -verify — asserts that the estimate the daemon pushes equals what POST
+// /v1/query answers at the same engine version. The CI e2e job builds it
+// and points it at a freshly booted daemon; exit status 0 means the whole
+// wire round-tripped.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 [-updates 100000] [-batch 256]
+//	        [-streams 2] [-instances 2] [-subscribers 4]
+//	        [-query "func=rg&p=1&estimator=lstar"] [-verify]
+//	        [-timeout 30s]
+//
+// Updates are deterministic: keys and weights derive from the update
+// index, so repeated runs against a fresh daemon build identical sketches.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/streamclient"
+)
+
+type options struct {
+	addr        string
+	updates     int
+	batch       int
+	streams     int
+	instances   int
+	subscribers int
+	query       string
+	verify      bool
+	timeout     time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "http://127.0.0.1:8080", "monestd base URL")
+	flag.IntVar(&o.updates, "updates", 100000, "total updates to stream")
+	flag.IntVar(&o.batch, "batch", 256, "updates per binary frame")
+	flag.IntVar(&o.streams, "streams", 2, "concurrent /v1/stream connections")
+	flag.IntVar(&o.instances, "instances", 2, "instance count updates are spread over (must be <= daemon's)")
+	flag.IntVar(&o.subscribers, "subscribers", 4, "concurrent /v1/subscribe connections")
+	flag.StringVar(&o.query, "query", "func=rg&p=1&estimator=lstar", "subscribe query string")
+	flag.BoolVar(&o.verify, "verify", false, "assert the pushed estimate matches POST /v1/query at the same version")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "overall deadline")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// synthUpdate is the deterministic update for global index i: a splitmix64
+// of the index picks the key so repeated runs are reproducible and the key
+// space is well spread across shards.
+func synthUpdate(i, instances int) engine.Update {
+	z := uint64(i)*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return engine.Update{
+		Instance: i % instances,
+		Key:      z ^ (z >> 31),
+		Weight:   float64(i%97) + 0.5,
+	}
+}
+
+func run(o options) error {
+	if o.updates <= 0 || o.batch <= 0 || o.streams <= 0 || o.instances <= 0 {
+		return fmt.Errorf("-updates, -batch, -streams, -instances must be positive")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
+	defer cancel()
+	client := &http.Client{}
+
+	// Subscribers go up first so every push from the ingest run is theirs
+	// to observe. Each remembers its latest push.
+	type subState struct {
+		sub  *streamclient.Subscription
+		last atomic.Pointer[streamclient.Push]
+		done chan struct{}
+	}
+	subs := make([]*subState, 0, o.subscribers)
+	for i := 0; i < o.subscribers; i++ {
+		sub, err := streamclient.Subscribe(ctx, client, o.addr, o.query)
+		if err != nil {
+			return fmt.Errorf("subscriber %d: %w", i, err)
+		}
+		st := &subState{sub: sub, done: make(chan struct{})}
+		subs = append(subs, st)
+		go func() {
+			defer close(st.done)
+			for {
+				p, err := st.sub.NextPush()
+				if err != nil {
+					return
+				}
+				st.last.Store(&p)
+			}
+		}()
+	}
+	defer func() {
+		for _, st := range subs {
+			st.sub.Close()
+		}
+	}()
+
+	// Fan the update range over the stream connections.
+	per := (o.updates + o.streams - 1) / o.streams
+	var wg sync.WaitGroup
+	var streamed atomic.Int64
+	errc := make(chan error, o.streams)
+	start := time.Now()
+	for s := 0; s < o.streams; s++ {
+		lo, hi := s*per, (s+1)*per
+		if hi > o.updates {
+			hi = o.updates
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			st, err := streamclient.OpenStream(ctx, client, o.addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			batch := make([]engine.Update, 0, o.batch)
+			for i := lo; i < hi; i++ {
+				batch = append(batch, synthUpdate(i, o.instances))
+				if len(batch) == o.batch {
+					if err := st.Send(batch); err != nil {
+						st.Close()
+						errc <- err
+						return
+					}
+					streamed.Add(int64(len(batch)))
+					batch = batch[:0]
+				}
+			}
+			if len(batch) > 0 {
+				if err := st.Send(batch); err != nil {
+					st.Close()
+					errc <- err
+					return
+				}
+				streamed.Add(int64(len(batch)))
+			}
+			if _, err := st.Close(); err != nil {
+				errc <- err
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return fmt.Errorf("stream: %w", err)
+	default:
+	}
+	rate := float64(streamed.Load()) / elapsed.Seconds()
+	fmt.Printf("streamed %d updates in %v over %d connections (%.0f updates/s)\n",
+		streamed.Load(), elapsed.Round(time.Millisecond), o.streams, rate)
+
+	if o.subscribers == 0 {
+		return nil
+	}
+
+	// All ingest is acknowledged (Close returned the server summary), so
+	// the daemon's version is final. Wait for every subscriber's latest
+	// push to reach it, then — under -verify — replay the same query over
+	// POST /v1/query and demand byte-equal results at that version.
+	finalVersion, queried, err := queryOnce(ctx, client, o.addr, o.query)
+	if err != nil {
+		return err
+	}
+	deadline := time.NewTimer(o.timeout)
+	defer deadline.Stop()
+	for i, st := range subs {
+		for {
+			if p := st.last.Load(); p != nil && p.Version >= finalVersion {
+				break
+			}
+			select {
+			case <-st.done:
+				return fmt.Errorf("subscriber %d closed before reaching version %d", i, finalVersion)
+			case <-deadline.C:
+				return fmt.Errorf("subscriber %d never saw version %d", i, finalVersion)
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+	fmt.Printf("%d subscribers caught up to version %d\n", len(subs), finalVersion)
+
+	if !o.verify {
+		return nil
+	}
+	for i, st := range subs {
+		p := st.last.Load()
+		if p.Version != finalVersion {
+			// The daemon mutated after our query (another writer?): refuse
+			// to compare across versions rather than report a false pass.
+			return fmt.Errorf("subscriber %d is at version %d, query answered %d — is another writer active?",
+				i, p.Version, finalVersion)
+		}
+		if len(p.Results) != len(queried) {
+			return fmt.Errorf("subscriber %d push has %d results, query %d", i, len(p.Results), len(queried))
+		}
+		for j := range queried {
+			if !jsonEqual(p.Results[j], queried[j]) {
+				return fmt.Errorf("subscriber %d result %d: push %s != query %s", i, j, p.Results[j], queried[j])
+			}
+		}
+	}
+	fmt.Printf("verified: pushed estimates equal POST /v1/query at version %d\n", finalVersion)
+	return nil
+}
+
+// queryOnce answers the subscribe query over POST /v1/query, translating
+// the URL-parameter form into one batched query object.
+func queryOnce(ctx context.Context, client *http.Client, addr, rawQuery string) (uint64, []json.RawMessage, error) {
+	spec := map[string]any{}
+	for _, kv := range strings.Split(rawQuery, "&") {
+		if kv == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(kv, "=")
+		switch k {
+		case "p", "c":
+			var f float64
+			if _, err := fmt.Sscan(v, &f); err != nil {
+				return 0, nil, fmt.Errorf("query param %s=%q: %w", k, v, err)
+			}
+			spec[k] = f
+		case "keys", "ids":
+			spec[k] = strings.Split(v, ",")
+		case "queries":
+			return 0, nil, fmt.Errorf("-verify supports parameter-form queries only, not queries=[...]")
+		default:
+			spec[k] = v
+		}
+	}
+	body, _ := json.Marshal(map[string]any{"queries": []any{spec}})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(addr, "/")+"/v1/query", strings.NewReader(string(body)))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Version uint64            `json:"version"`
+		Results []json.RawMessage `json:"results"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("query: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, nil, err
+	}
+	return out.Version, out.Results, nil
+}
+
+// jsonEqual compares two JSON documents structurally (key order and
+// whitespace insensitive).
+func jsonEqual(a, b json.RawMessage) bool {
+	var av, bv any
+	if json.Unmarshal(a, &av) != nil || json.Unmarshal(b, &bv) != nil {
+		return false
+	}
+	ab, _ := json.Marshal(av)
+	bb, _ := json.Marshal(bv)
+	return string(ab) == string(bb)
+}

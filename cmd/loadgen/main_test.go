@@ -1,0 +1,44 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sampling"
+	"repro/internal/server"
+)
+
+func TestRunVerifiesAgainstInProcessServer(t *testing.T) {
+	eng, err := engine.New(engine.Config{Instances: 2, K: 64, Shards: 8, Hash: sampling.NewSeedHash(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewWith(eng, server.Config{SubscribeDebounce: 10 * time.Millisecond}))
+	defer ts.Close()
+
+	o := options{
+		addr:        ts.URL,
+		updates:     5000,
+		batch:       256,
+		streams:     2,
+		instances:   2,
+		subscribers: 3,
+		query:       "func=rg&p=1&estimator=lstar",
+		verify:      true,
+		timeout:     30 * time.Second,
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Ingests; got != uint64(o.updates) {
+		t.Fatalf("engine ingested %d, want %d", got, o.updates)
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if err := run(options{updates: 0, batch: 1, streams: 1, instances: 1}); err == nil {
+		t.Fatal("zero -updates accepted")
+	}
+}

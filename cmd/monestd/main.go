@@ -9,6 +9,7 @@
 //	monestd [-addr :8080] [-instances 2] [-k 64] [-shards 16] [-salt 1]
 //	        [-default-estimator lstar] [-estimators lstar,ustar,ht,...]
 //	        [-snapshot-max-stale 0s]
+//	        [-subscribe-debounce 100ms] [-subscribe-heartbeat 15s]
 //	        [-data-dir DIR] [-fsync always|interval|never]
 //	        [-checkpoint-interval 1m] [-pprof]
 //
@@ -21,6 +22,14 @@
 // request. 0 (the default) serves every read from an exact cut — which
 // still costs nothing when no ingest intervened, thanks to the engine's
 // versioned snapshot cache.
+//
+// Streaming wire: POST /v1/stream accepts length-prefixed binary update
+// frames (WAL record format behind an 8-byte magic) over one chunked
+// connection, and GET /v1/subscribe pushes re-estimates as Server-Sent
+// Events whenever the sketch state changes. -subscribe-debounce is the
+// window that coalesces write bursts into one push; -subscribe-heartbeat
+// is the SSE keepalive comment period. On graceful shutdown subscribers
+// receive a final "drain" event before the listener closes.
 //
 // Durability: -data-dir points at a state directory (or a "backend:path"
 // store spec, e.g. "file:/var/lib/monestd"); on boot the daemon recovers
@@ -83,6 +92,9 @@ type options struct {
 	allow      string
 	maxStale   time.Duration
 
+	subDebounce  time.Duration
+	subHeartbeat time.Duration
+
 	dataDir      string
 	fsync        string
 	checkpointIv time.Duration
@@ -99,6 +111,8 @@ func main() {
 	flag.StringVar(&o.defaultEst, "default-estimator", "lstar", "registry estimator used when a request names none")
 	flag.StringVar(&o.allow, "estimators", "", "comma-separated allowlist of estimator base names (empty = all registered)")
 	flag.DurationVar(&o.maxStale, "snapshot-max-stale", 0, "serve cached snapshots up to this old under write load (0 = always exact)")
+	flag.DurationVar(&o.subDebounce, "subscribe-debounce", 100*time.Millisecond, "window coalescing write bursts into one /v1/subscribe push")
+	flag.DurationVar(&o.subHeartbeat, "subscribe-heartbeat", 15*time.Second, "SSE keepalive comment period on /v1/subscribe")
 	flag.StringVar(&o.dataDir, "data-dir", "", "state directory or backend:path store spec (empty = in-memory only)")
 	flag.StringVar(&o.fsync, "fsync", "interval", "WAL flush policy: always, interval, never")
 	flag.DurationVar(&o.checkpointIv, "checkpoint-interval", time.Minute, "periodic checkpoint period (0 = only on demand and shutdown)")
@@ -117,6 +131,9 @@ func run(o options) error {
 	}
 	if o.checkpointIv < 0 {
 		return fmt.Errorf("-checkpoint-interval %v must be nonnegative", o.checkpointIv)
+	}
+	if o.subDebounce < 0 || o.subHeartbeat < 0 {
+		return errors.New("-subscribe-debounce and -subscribe-heartbeat must be nonnegative")
 	}
 	fsyncPolicy, err := store.ParseFsyncPolicy(o.fsync)
 	if err != nil {
@@ -195,12 +212,15 @@ func run(o options) error {
 		}
 	}
 
-	var handler http.Handler = server.NewWith(eng, server.Config{
-		Registry:         reg,
-		DefaultEstimator: o.defaultEst,
-		SnapshotMaxStale: o.maxStale,
-		Persist:          persist,
+	api := server.NewWith(eng, server.Config{
+		Registry:           reg,
+		DefaultEstimator:   o.defaultEst,
+		SnapshotMaxStale:   o.maxStale,
+		Persist:            persist,
+		SubscribeDebounce:  o.subDebounce,
+		SubscribeHeartbeat: o.subHeartbeat,
 	})
+	var handler http.Handler = api
 	if o.pprof {
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -256,6 +276,11 @@ func run(o options) error {
 	case <-ctx.Done():
 	}
 	logger.Printf("shutting down")
+	// Drain first: open ingest streams stop accepting frames at the next
+	// boundary and subscribers get a final "drain" event, so Shutdown's
+	// wait for in-flight requests actually terminates (SSE connections
+	// would otherwise hold it open until the timeout).
+	api.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -75,6 +75,10 @@ type Engine struct {
 	// snapCtr observes the incremental rebuild path; counters are atomics
 	// only so Stats can read them without rebuildMu.
 	snapCtr snapshotCounters
+	// notifyCh is the coalesced mutation signal behind MutationSignal: a
+	// cap-1 channel poked (non-blocking) after every operation that bumped
+	// the version, so a consumer wakes at least once per mutation burst.
+	notifyCh chan struct{}
 	// batch pools IngestBatch's shard-bucketing scratch (counts + reordered
 	// updates) so steady-state batches allocate nothing.
 	batch sync.Pool
@@ -102,6 +106,7 @@ func New(cfg Config) (*Engine, error) {
 		cfg:       cfg,
 		maskWords: (cfg.Instances + 63) / 64,
 		shards:    make([]*shard, cfg.Shards),
+		notifyCh:  make(chan struct{}, 1),
 	}
 	for s := range e.shards {
 		heaps := make([]bkHeap, cfg.Instances)
@@ -149,11 +154,15 @@ func (e *Engine) Ingest(instance int, key uint64, weight float64) error {
 	// Counters bump under the shard lock so a consistent cut (Snapshot,
 	// Stats) reads version and traffic exactly as of the cut. Version
 	// counts mutations only; Ingests counts accepted operations.
-	if sh.ingest(e, instance, key, weight) {
+	mutated := sh.ingest(e, instance, key, weight)
+	if mutated {
 		sh.muts.Add(1)
 	}
 	e.ingests.Add(1)
 	sh.mu.Unlock()
+	if mutated {
+		e.notifyMutation()
+	}
 	return nil
 }
 
@@ -218,6 +227,7 @@ func (e *Engine) IngestBatch(updates []Update) error {
 		counts[s]++
 	}
 	lo := 0
+	batchMuts := uint64(0)
 	for s := 0; s < ns; s++ {
 		hi := counts[s]
 		if hi == lo {
@@ -243,11 +253,33 @@ func (e *Engine) IngestBatch(updates []Update) error {
 			}
 		}
 		sh.muts.Add(muts)
+		batchMuts += muts
 		e.ingests.Add(uint64(hi - lo))
 		sh.mu.Unlock()
 		lo = hi
 	}
+	if batchMuts > 0 {
+		e.notifyMutation()
+	}
 	return nil
+}
+
+// MutationSignal returns the engine's coalesced mutation wakeup: the
+// channel receives at least one value after any operation that advanced
+// Version (ingest, batch, state restore/merge), with bursts collapsed
+// into one pending signal. It is the hook push-based readers build on:
+// wake, debounce, read Version, re-serve. The channel is never closed,
+// and is intended for a single consumer — concurrent receivers split the
+// signals between them.
+func (e *Engine) MutationSignal() <-chan struct{} { return e.notifyCh }
+
+// notifyMutation pokes the mutation signal without blocking: if a wakeup
+// is already pending, the burst coalesces into it.
+func (e *Engine) notifyMutation() {
+	select {
+	case e.notifyCh <- struct{}{}:
+	default:
+	}
 }
 
 // Version is the engine's mutation version: the total count of ingest

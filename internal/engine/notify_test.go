@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sampling"
+)
+
+func notifyEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(Config{Instances: 2, K: 4, Shards: 4, Hash: sampling.NewSeedHash(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func drained(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return false
+	default:
+		return true
+	}
+}
+
+func TestMutationSignalFiresOnMutation(t *testing.T) {
+	e := notifyEngine(t)
+	sig := e.MutationSignal()
+	if !drained(sig) {
+		t.Fatal("fresh engine has a pending signal")
+	}
+	if err := e.Ingest(0, 1, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sig:
+	case <-time.After(time.Second):
+		t.Fatal("no signal after a mutating ingest")
+	}
+	if !drained(sig) {
+		t.Fatal("one mutation queued more than one signal")
+	}
+}
+
+func TestMutationSignalSkipsNoOps(t *testing.T) {
+	e := notifyEngine(t)
+	if err := e.Ingest(0, 1, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	sig := e.MutationSignal()
+	<-sig
+	// Zero weight, dominated duplicate, rejected update: none bump the
+	// version, none may signal.
+	if err := e.Ingest(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(0, 1, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(-1, 1, 1.0); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+	if err := e.IngestBatch([]Update{{Instance: 0, Key: 1, Weight: 0.5}, {Instance: 0, Key: 1, Weight: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if !drained(sig) {
+		t.Fatal("non-mutating traffic signaled")
+	}
+}
+
+func TestMutationSignalCoalescesBursts(t *testing.T) {
+	e := notifyEngine(t)
+	batch := make([]Update, 64)
+	for i := range batch {
+		batch[i] = Update{Instance: 0, Key: uint64(i), Weight: float64(i + 1)}
+	}
+	if err := e.IngestBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(1, 7, 3.0); err != nil {
+		t.Fatal(err)
+	}
+	sig := e.MutationSignal()
+	<-sig
+	if !drained(sig) {
+		t.Fatal("burst left more than one pending signal")
+	}
+	// The consumer loop pattern: after draining, a new mutation must wake
+	// the consumer again.
+	if err := e.Ingest(1, 999, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sig:
+	case <-time.After(time.Second):
+		t.Fatal("signal lost after drain")
+	}
+}
+
+func TestMutationSignalFiresOnRestoreAndMerge(t *testing.T) {
+	src := notifyEngine(t)
+	if err := src.Ingest(0, 42, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	st := src.DumpState()
+
+	fresh := notifyEngine(t)
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fresh.MutationSignal():
+	case <-time.After(time.Second):
+		t.Fatal("no signal after RestoreState")
+	}
+
+	other := notifyEngine(t)
+	if err := other.MergeState(st); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-other.MutationSignal():
+	case <-time.After(time.Second):
+		t.Fatal("no signal after MergeState")
+	}
+}

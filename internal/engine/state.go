@@ -195,6 +195,7 @@ func (e *Engine) RestoreState(st *State) error {
 	// would wrongly pass the cleanliness check — drop them all.
 	e.shards[0].muts.Store(st.Version)
 	e.resetSnapshotState()
+	e.notifyMutation()
 	return nil
 }
 
@@ -211,6 +212,10 @@ func (e *Engine) MergeState(st *State) error {
 	}
 	e.applyState(st, true)
 	e.ingests.Add(st.Ingests)
+	// A merge may be a pure no-op (every mask bit and entry dominated),
+	// but signaling spuriously is harmless: consumers re-read Version and
+	// see nothing moved.
+	e.notifyMutation()
 	return nil
 }
 

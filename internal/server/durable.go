@@ -131,6 +131,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (int, err
 	counter("monest_snapshot_threshold_refreshes_total", "Rebuilds where the global thresholds moved (all partitions re-reduced).", float64(st.Snapshot.ThresholdRefreshes))
 	counter("monest_snapshot_plan_rebuilds_total", "Merge-plan rebuilds (key set changed).", float64(st.Snapshot.PlanRebuilds))
 
+	wire := s.wire.view()
+	gauge("monest_stream_connections_active", "Open /v1/stream binary ingest connections.", float64(wire.ActiveStreams))
+	counter("monest_stream_frames_total", "Binary ingest frames decoded and applied.", float64(wire.StreamFrames))
+	counter("monest_stream_updates_total", "Updates ingested over binary streams.", float64(wire.StreamUpdates))
+	gauge("monest_subscribers_active", "Open /v1/subscribe connections.", float64(wire.ActiveSubscribers))
+	counter("monest_subscribe_pushed_events_total", "Estimate events delivered into subscriber buffers.", float64(wire.PushedEvents))
+	counter("monest_subscribe_coalesced_events_total", "Version-change wakeups absorbed by the debounce window.", float64(wire.CoalescedEvents))
+	counter("monest_subscribe_dropped_events_total", "Events dropped because a slow consumer's buffer was full.", float64(wire.DroppedEvents))
+	counter("monest_subscribe_heartbeats_total", "SSE keepalive comments written.", float64(wire.Heartbeats))
+
 	b = fmt.Appendf(b, "# HELP monest_shard_mutations_total Snapshot-visible mutations per shard.\n# TYPE monest_shard_mutations_total counter\n")
 	for i, sh := range st.PerShard {
 		b = fmt.Appendf(b, "monest_shard_mutations_total{shard=\"%d\"} %d\n", i, sh.Mutations)

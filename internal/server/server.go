@@ -4,8 +4,14 @@
 // Endpoints:
 //
 //	POST /v1/ingest           batch of {instance, key|id, weight} updates
+//	POST /v1/stream           long-lived binary streaming ingest: framed
+//	                          update batches in the WAL record encoding
+//	                          (see stream.go)
 //	POST /v1/query            batched multi-statistic queries over one
 //	                          shared snapshot (see query.go)
+//	GET  /v1/subscribe        Server-Sent Events push: registered queries
+//	                          are re-evaluated and pushed on version
+//	                          change, debounced (see subscribe.go)
 //	GET  /v1/estimate/sum     sum estimate: ?func=rg&p=1&estimator=lstar
 //	GET  /v1/estimate/jaccard Jaccard of the instances' positive supports
 //	GET  /v1/stats            engine contents + per-endpoint counters
@@ -55,6 +61,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -87,6 +94,15 @@ type Server struct {
 	// persist, when set, backs /v1/checkpoint and makes /v1/import
 	// durable (see durable.go).
 	persist *store.Persistence
+	// wire counts streaming-ingest and subscription traffic (stream.go);
+	// broadcast owns the /v1/subscribe registry and push loop
+	// (subscribe.go); drainCh gates both on shutdown (Server.Drain).
+	wire           wireStats
+	broadcast      *broadcaster
+	drainCh        chan struct{}
+	drainOnce      sync.Once
+	heartbeat      time.Duration
+	maxSubscribers int
 }
 
 // Config customizes a server beyond its engine.
@@ -109,6 +125,15 @@ type Config struct {
 	// after merging. Nil leaves the engine in-memory only; /v1/checkpoint
 	// then answers 503.
 	Persist *store.Persistence
+	// SubscribeDebounce is how long the push loop absorbs a write burst
+	// before re-evaluating subscriptions (default 100ms); 0 pushes per
+	// mutation wakeup.
+	SubscribeDebounce time.Duration
+	// SubscribeHeartbeat is the SSE keepalive comment period (default 15s).
+	SubscribeHeartbeat time.Duration
+	// MaxSubscribers caps concurrent /v1/subscribe connections (default
+	// 4096); beyond it new subscriptions answer 503.
+	MaxSubscribers int
 }
 
 // endpointMetrics counts one endpoint's traffic. Fields are atomics so
@@ -164,19 +189,34 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 	if cfg.Snapshots == nil {
 		cfg.Snapshots = cachedSource{eng: eng, maxStale: cfg.SnapshotMaxStale}
 	}
-	s := &Server{
-		eng:        eng,
-		reg:        cfg.Registry,
-		defaultEst: cfg.DefaultEstimator,
-		mux:        http.NewServeMux(),
-		started:    time.Now(),
-		metrics:    make(map[string]*endpointMetrics),
-		snaps:      cfg.Snapshots,
-		partials:   newPartialEstimates(),
-		persist:    cfg.Persist,
+	if cfg.SubscribeDebounce == 0 {
+		cfg.SubscribeDebounce = 100 * time.Millisecond
 	}
+	if cfg.SubscribeHeartbeat == 0 {
+		cfg.SubscribeHeartbeat = 15 * time.Second
+	}
+	if cfg.MaxSubscribers == 0 {
+		cfg.MaxSubscribers = 4096
+	}
+	s := &Server{
+		eng:            eng,
+		reg:            cfg.Registry,
+		defaultEst:     cfg.DefaultEstimator,
+		mux:            http.NewServeMux(),
+		started:        time.Now(),
+		metrics:        make(map[string]*endpointMetrics),
+		snaps:          cfg.Snapshots,
+		partials:       newPartialEstimates(),
+		persist:        cfg.Persist,
+		drainCh:        make(chan struct{}),
+		heartbeat:      cfg.SubscribeHeartbeat,
+		maxSubscribers: cfg.MaxSubscribers,
+	}
+	s.broadcast = newBroadcaster(s, cfg.SubscribeDebounce)
 	s.route("POST /v1/ingest", s.handleIngest)
+	s.route("POST /v1/stream", s.handleStream)
 	s.route("POST /v1/query", s.handleQuery)
+	s.routeRaw("GET /v1/subscribe", s.handleSubscribe)
 	s.route("GET /v1/estimate/sum", s.handleEstimateSum)
 	s.route("GET /v1/estimate/jaccard", s.handleEstimateJaccard)
 	s.route("GET /v1/stats", s.handleStats)
@@ -507,6 +547,7 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		"engine":         st,
 		"estimators":     s.reg.Names(),
 		"endpoints":      endpoints,
+		"wire":           s.wire.view(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
 	}, nil
 }

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/store"
+)
+
+// POST /v1/stream is the binary ingest path: one long-lived request whose
+// chunked body is a stream of length-prefixed, CRC-framed update batches
+// in the WAL's record encoding (store.AppendFrame / store.FrameScanner).
+// Each decoded frame feeds Engine.IngestBatch directly — no JSON, no
+// per-batch request round-trip, no per-frame allocations (the scanner and
+// the engine's batch pool both reuse scratch). Backpressure is the
+// transport's: the server reads a frame only after ingesting the previous
+// one, so a sender can never run ahead of the engine by more than the
+// socket and bufio windows.
+//
+// The stream ends when the client closes the request body (clean EOF on a
+// frame boundary) or when the server starts draining; the response then
+// reports what was applied:
+//
+//	{"frames": N, "updates": M, "draining": bool}
+//
+// A torn frame, checksum mismatch or invalid update aborts the stream
+// with a 400 whose message counts the frames already applied — applied
+// frames stay applied (the stream is not transactional, exactly like
+// sequential /v1/ingest batches).
+
+// wireStats counts streaming-ingest and subscription traffic; all fields
+// are atomics shared by handlers, the broadcaster and /v1/stats.
+type wireStats struct {
+	streamsActive atomic.Int64
+	streamFrames  atomic.Uint64
+	streamUpdates atomic.Uint64
+
+	subsActive atomic.Int64
+	pushed     atomic.Uint64
+	coalesced  atomic.Uint64
+	dropped    atomic.Uint64
+	heartbeats atomic.Uint64
+}
+
+// WireStats is the JSON view of the wire counters in /v1/stats.
+type WireStats struct {
+	// ActiveStreams gauges open /v1/stream connections.
+	ActiveStreams int64 `json:"active_streams"`
+	// StreamFrames and StreamUpdates count decoded-and-applied binary
+	// frames and the updates they carried.
+	StreamFrames  uint64 `json:"stream_frames"`
+	StreamUpdates uint64 `json:"stream_updates"`
+	// ActiveSubscribers gauges open /v1/subscribe connections.
+	ActiveSubscribers int64 `json:"active_subscribers"`
+	// PushedEvents counts estimate events delivered into subscriber
+	// buffers (initial pushes included).
+	PushedEvents uint64 `json:"pushed_events"`
+	// CoalescedEvents counts version-change wakeups absorbed into an
+	// already-pending push round by the debounce window.
+	CoalescedEvents uint64 `json:"coalesced_events"`
+	// DroppedEvents counts undelivered events discarded because a slow
+	// consumer's buffer was full (the consumer's next event supersedes
+	// them; ingest never blocks).
+	DroppedEvents uint64 `json:"dropped_events"`
+	// Heartbeats counts SSE keepalive comments written.
+	Heartbeats uint64 `json:"heartbeats"`
+}
+
+func (w *wireStats) view() WireStats {
+	return WireStats{
+		ActiveStreams:     w.streamsActive.Load(),
+		StreamFrames:      w.streamFrames.Load(),
+		StreamUpdates:     w.streamUpdates.Load(),
+		ActiveSubscribers: w.subsActive.Load(),
+		PushedEvents:      w.pushed.Load(),
+		CoalescedEvents:   w.coalesced.Load(),
+		DroppedEvents:     w.dropped.Load(),
+		Heartbeats:        w.heartbeats.Load(),
+	}
+}
+
+func (s *Server) handleStream(r *http.Request) (int, any, error) {
+	if err := checkParams(r.URL.Query()); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" && ct != store.StreamContentType {
+		return http.StatusUnsupportedMediaType, nil,
+			fmt.Errorf("content type %q (want %s)", ct, store.StreamContentType)
+	}
+	s.wire.streamsActive.Add(1)
+	defer s.wire.streamsActive.Add(-1)
+
+	sc := store.NewFrameScanner(r.Body)
+	frames, updates := 0, 0
+	draining := false
+	for {
+		// Check the drain gate between frames (never mid-frame): on
+		// shutdown the connection finishes its current batch and answers
+		// with what it applied, instead of being cut mid-record.
+		select {
+		case <-s.drainCh:
+			draining = true
+		default:
+		}
+		if draining {
+			break
+		}
+		batch, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return http.StatusBadRequest, nil,
+				fmt.Errorf("frame %d: %w (%d updates from %d frames already applied)", frames, err, updates, frames)
+		}
+		if err := s.eng.IngestBatch(batch); err != nil {
+			return http.StatusBadRequest, nil,
+				fmt.Errorf("frame %d: %w (%d updates from %d frames already applied)", frames, err, updates, frames)
+		}
+		frames++
+		updates += len(batch)
+		s.wire.streamFrames.Add(1)
+		s.wire.streamUpdates.Add(uint64(len(batch)))
+	}
+	return http.StatusOK, map[string]any{
+		"frames":   frames,
+		"updates":  updates,
+		"draining": draining,
+	}, nil
+}
+
+// Drain moves the server into connection-draining mode: open /v1/stream
+// requests finish their current frame and respond, open /v1/subscribe
+// connections receive a final "drain" event and close, and new frames or
+// subscriptions are refused. Idempotent; monestd calls it before
+// http.Server.Shutdown so long-lived connections do not hold shutdown
+// open until the timeout kills them.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
+// draining reports whether Drain was called.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+var errDraining = errors.New("server is draining (shutting down)")

@@ -1,0 +1,415 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// GET /v1/subscribe is the push-based read path: a client registers one
+// or more (statistic, estimator, selection) queries — the same triples
+// POST /v1/query answers — and holds the connection open; the server
+// pushes re-evaluated results as Server-Sent Events whenever the engine's
+// mutation version changes. Pushes are debounced and coalesced: a burst
+// of writes yields one re-estimate round, evaluated once per distinct
+// query set from the shared snapshot view (the per-version result memo
+// and per-partition estimate cache make each round proportional to the
+// mutated partitions, not the subscriber count times the key count).
+//
+// Queries come from the URL: either the single-query parameters of
+// /v1/estimate/sum (statistic, func, p, c, estimator, plus comma-lists
+// keys and ids), or ?queries=<JSON array of /v1/query specs> for a batch.
+//
+// Event schema (versioned exactly like /v1/query — the top-level
+// "version" is the engine mutation version the results reflect):
+//
+//	event: estimate
+//	id: <version>
+//	data: {"version": N, "results": [<queryResult>, ...]}
+//
+// The first estimate event is pushed immediately on subscribe (the
+// current state), comment lines (": ping") keep idle connections alive,
+// and a final "event: drain" announces a server shutdown. A subscriber
+// that reads too slowly has its oldest undelivered events dropped — the
+// buffer is bounded and ingest never blocks on a slow consumer; each
+// delivered event always carries the newest evaluated results.
+
+// subscriberBuffer bounds each subscriber's undelivered-event queue.
+// When it is full the broadcaster drops the oldest event: estimates are
+// snapshots, not deltas, so the newest event supersedes everything queued
+// before it.
+const subscriberBuffer = 8
+
+// maxSubscribeQueries caps the queries one subscription registers.
+const maxSubscribeQueries = maxBatchQueries
+
+// pushEvent is one encoded estimate push.
+type pushEvent struct {
+	version uint64
+	data    []byte // the JSON data line: {"version": N, "results": [...]}
+}
+
+// subscriber is one /v1/subscribe connection's registration.
+type subscriber struct {
+	queries []*plannedQuery
+	// shareKey identifies the query set; subscribers with equal keys share
+	// one evaluation and one encoded payload per push round.
+	shareKey string
+	// events is the bounded undelivered-event queue: the broadcaster
+	// sends, the connection handler receives, and on overflow the
+	// broadcaster drops the oldest (see deliver).
+	events chan pushEvent
+	// lastVersion is the newest version delivered into events (sentinel
+	// ^0 = nothing yet). The broadcaster skips subscribers already at the
+	// round's version, and advance() keeps delivered versions monotone
+	// even when the initial push races a broadcast round.
+	lastVersion atomic.Uint64
+}
+
+// advance claims version v for delivery: it returns false when v is not
+// newer than what was already delivered.
+func (sub *subscriber) advance(v uint64) bool {
+	for {
+		old := sub.lastVersion.Load()
+		if old != subVersionNone && v <= old {
+			return false
+		}
+		if sub.lastVersion.CompareAndSwap(old, v) {
+			return true
+		}
+	}
+}
+
+const subVersionNone = ^uint64(0)
+
+// deliver queues ev without ever blocking: when the buffer is full the
+// oldest undelivered event is discarded (counted as dropped) to make
+// room. Only the broadcaster and the subscribing handler's initial push
+// call deliver; the connection handler is the only receiver.
+func (sub *subscriber) deliver(ev pushEvent, w *wireStats) {
+	for {
+		select {
+		case sub.events <- ev:
+			w.pushed.Add(1)
+			return
+		default:
+		}
+		select {
+		case <-sub.events:
+			w.dropped.Add(1)
+		default:
+		}
+	}
+}
+
+// broadcaster owns the subscriber registry and the push loop. The loop
+// runs only while subscribers exist: it wakes on the engine's coalesced
+// mutation signal, absorbs the burst for one debounce window, evaluates
+// each distinct query set once against one shared snapshot view, and
+// delivers to every subscriber the round reaches.
+type broadcaster struct {
+	s        *Server
+	debounce time.Duration
+
+	mu      sync.Mutex
+	subs    map[*subscriber]struct{}
+	running bool
+	// kick wakes the loop outside mutation traffic — in particular when
+	// the last subscriber leaves, so the loop can park itself.
+	kick chan struct{}
+}
+
+func newBroadcaster(s *Server, debounce time.Duration) *broadcaster {
+	return &broadcaster{
+		s:        s,
+		debounce: debounce,
+		subs:     make(map[*subscriber]struct{}),
+		kick:     make(chan struct{}, 1),
+	}
+}
+
+// register adds the subscriber and ensures the push loop is running.
+func (b *broadcaster) register(sub *subscriber, max int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if max > 0 && len(b.subs) >= max {
+		return fmt.Errorf("subscriber limit %d reached", max)
+	}
+	b.subs[sub] = struct{}{}
+	if !b.running {
+		b.running = true
+		go b.loop()
+	}
+	return nil
+}
+
+func (b *broadcaster) unregister(sub *subscriber) {
+	b.mu.Lock()
+	delete(b.subs, sub)
+	empty := len(b.subs) == 0
+	b.mu.Unlock()
+	if empty {
+		select {
+		case b.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// snapshotSubs copies the current subscriber set (the round must not hold
+// b.mu while evaluating estimators).
+func (b *broadcaster) snapshotSubs() []*subscriber {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := make([]*subscriber, 0, len(b.subs))
+	for sub := range b.subs {
+		subs = append(subs, sub)
+	}
+	return subs
+}
+
+// loop is the push loop: wake, debounce, evaluate, deliver — parking
+// itself when the subscriber set empties and exiting on drain.
+func (b *broadcaster) loop() {
+	sig := b.s.eng.MutationSignal()
+	for {
+		select {
+		case <-sig:
+		case <-b.kick:
+		case <-b.s.drainCh:
+			b.park()
+			return
+		}
+		b.mu.Lock()
+		n := len(b.subs)
+		b.mu.Unlock()
+		if n == 0 {
+			b.park()
+			return
+		}
+		if !b.debounceWait(sig) {
+			b.park()
+			return
+		}
+		b.round()
+	}
+}
+
+// park stops the loop; a later register restarts it.
+func (b *broadcaster) park() {
+	b.mu.Lock()
+	b.running = false
+	b.mu.Unlock()
+}
+
+// debounceWait absorbs mutation signals for one debounce window so a
+// write burst becomes one push round; it returns false when the server
+// started draining mid-window.
+func (b *broadcaster) debounceWait(sig <-chan struct{}) bool {
+	if b.debounce <= 0 {
+		return true
+	}
+	timer := time.NewTimer(b.debounce)
+	defer timer.Stop()
+	for {
+		select {
+		case <-sig:
+			b.s.wire.coalesced.Add(1)
+		case <-timer.C:
+			return true
+		case <-b.s.drainCh:
+			return false
+		}
+	}
+}
+
+// round evaluates one push round: one shared snapshot view, one
+// evaluation and one encoded payload per distinct query set, one deliver
+// per subscriber not already at the round's version.
+func (b *broadcaster) round() {
+	view := b.s.snaps.AcquireSnapshot()
+	memo := b.s.memoFor(view.Version)
+	encoded := make(map[string][]byte)
+	for _, sub := range b.snapshotSubs() {
+		if sub.lastVersion.Load() >= view.Version && sub.lastVersion.Load() != subVersionNone {
+			continue
+		}
+		data, ok := encoded[sub.shareKey]
+		if !ok {
+			data = b.s.encodePush(sub.queries, view, memo)
+			encoded[sub.shareKey] = data
+		}
+		if sub.advance(view.Version) {
+			sub.deliver(pushEvent{version: view.Version, data: data}, &b.s.wire)
+		}
+	}
+}
+
+// encodePush evaluates the queries against the view and encodes the SSE
+// data payload — the exact result objects POST /v1/query returns for the
+// same specs at the same version.
+func (s *Server) encodePush(queries []*plannedQuery, view engine.SnapshotView, memo *resultMemo) []byte {
+	results := make([]queryResult, len(queries))
+	for i, q := range queries {
+		results[i] = s.evalMemoized(q, view, memo)
+	}
+	data, err := json.Marshal(struct {
+		Version uint64        `json:"version"`
+		Results []queryResult `json:"results"`
+	}{view.Version, results})
+	if err != nil {
+		// queryResult always marshals; a failure here is a programming
+		// error surfaced to the subscriber rather than a silent stall.
+		data = fmt.Appendf(nil, `{"version":%d,"error":%q}`, view.Version, err.Error())
+	}
+	return data
+}
+
+// parseSubscribeQueries reads the subscription's query set from the URL.
+func (s *Server) parseSubscribeQueries(r *http.Request) ([]querySpec, error) {
+	q := r.URL.Query()
+	if err := checkParams(q, "statistic", "func", "p", "c", "estimator", "keys", "ids", "queries"); err != nil {
+		return nil, err
+	}
+	if raw := q.Get("queries"); raw != "" {
+		for _, p := range []string{"statistic", "func", "p", "c", "estimator", "keys", "ids"} {
+			if q.Get(p) != "" {
+				return nil, fmt.Errorf("parameter %q conflicts with queries (put it inside the JSON array)", p)
+			}
+		}
+		dec := json.NewDecoder(strings.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var specs []querySpec
+		if err := dec.Decode(&specs); err != nil {
+			return nil, fmt.Errorf("decoding queries: %w", err)
+		}
+		if dec.More() {
+			return nil, errors.New("decoding queries: trailing data after JSON array")
+		}
+		if len(specs) == 0 {
+			return nil, errors.New("queries names no queries")
+		}
+		if len(specs) > maxSubscribeQueries {
+			return nil, fmt.Errorf("%d queries exceeds %d", len(specs), maxSubscribeQueries)
+		}
+		return specs, nil
+	}
+	sp, err := parseStatistic(q)
+	if err != nil {
+		return nil, err
+	}
+	spec := querySpec{
+		Statistic: q.Get("statistic"),
+		Func:      sp.Func,
+		P:         sp.P,
+		C:         sp.C,
+		Estimator: q.Get("estimator"),
+	}
+	if raw := q.Get("keys"); raw != "" {
+		spec.Keys = strings.Split(raw, ",")
+	}
+	if raw := q.Get("ids"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			id, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parameter ids: %w", err)
+			}
+			spec.IDs = append(spec.IDs, id)
+		}
+	}
+	return []querySpec{spec}, nil
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) (int, error) {
+	if s.draining() {
+		return http.StatusServiceUnavailable, errDraining
+	}
+	specs, err := s.parseSubscribeQueries(r)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	pl := s.newPlanner()
+	queries := make([]*plannedQuery, len(specs))
+	var shareKey strings.Builder
+	for i, spec := range specs {
+		q, err := pl.plan(spec)
+		if err != nil {
+			return http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err)
+		}
+		// The planner caches by (statistic, estimator, func); selections
+		// are per-query, so rebind (exactly as handleQuery does).
+		bound := *q
+		bound.spec = spec
+		queries[i] = &bound
+		shareKey.WriteString(bound.memoKey())
+		shareKey.WriteByte(0x1f)
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		return http.StatusInternalServerError, errors.New("response writer cannot stream (no http.Flusher)")
+	}
+
+	sub := &subscriber{
+		queries:  queries,
+		shareKey: shareKey.String(),
+		events:   make(chan pushEvent, subscriberBuffer),
+	}
+	sub.lastVersion.Store(subVersionNone)
+	if err := s.broadcast.register(sub, s.maxSubscribers); err != nil {
+		return http.StatusServiceUnavailable, err
+	}
+	defer s.broadcast.unregister(sub)
+	s.wire.subsActive.Add(1)
+	defer s.wire.subsActive.Add(-1)
+
+	// Registration precedes the initial push, so a mutation landing in
+	// between reaches this subscriber through the broadcaster; advance()
+	// keeps the two paths from reordering versions on the wire.
+	view := s.snaps.AcquireSnapshot()
+	if sub.advance(view.Version) {
+		sub.deliver(pushEvent{
+			version: view.Version,
+			data:    s.encodePush(queries, view, s.memoFor(view.Version)),
+		}, &s.wire)
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the push path
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(s.heartbeat)
+	defer heartbeat.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case ev := <-sub.events:
+			if _, err := fmt.Fprintf(w, "event: estimate\nid: %d\ndata: %s\n\n", ev.version, ev.data); err != nil {
+				return http.StatusOK, nil // client went away mid-write
+			}
+		case <-heartbeat.C:
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return http.StatusOK, nil
+			}
+			s.wire.heartbeats.Add(1)
+		case <-ctx.Done():
+			return http.StatusOK, nil
+		case <-s.drainCh:
+			_, _ = io.WriteString(w, "event: drain\ndata: {}\n\n")
+			flusher.Flush()
+			return http.StatusOK, nil
+		}
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,422 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sampling"
+)
+
+func subTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng, err := engine.New(engine.Config{Instances: 2, K: 16, Shards: 4, Hash: sampling.NewSeedHash(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SubscribeDebounce == 0 {
+		cfg.SubscribeDebounce = 5 * time.Millisecond
+	}
+	s := NewWith(eng, cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts, eng
+}
+
+// sseConn is a minimal SSE reader over one /v1/subscribe response.
+type sseConn struct {
+	resp *http.Response
+	sc   *bufio.Scanner
+}
+
+func subscribeSSE(t *testing.T, ctx context.Context, url, rawQuery string) *sseConn {
+	t.Helper()
+	full := url + "/v1/subscribe"
+	if rawQuery != "" {
+		full += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, full, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("subscribe status %d: %s", resp.StatusCode, body)
+	}
+	c := &sseConn{resp: resp, sc: bufio.NewScanner(resp.Body)}
+	t.Cleanup(func() { resp.Body.Close() })
+	return c
+}
+
+// next returns the next event's (type, data), skipping heartbeats.
+func (c *sseConn) next(t *testing.T) (string, []byte) {
+	t.Helper()
+	typ, data := "", []byte(nil)
+	for c.sc.Scan() {
+		line := c.sc.Bytes()
+		switch {
+		case len(line) == 0:
+			if typ != "" {
+				return typ, data
+			}
+		case line[0] == ':':
+		case bytes.HasPrefix(line, []byte("event: ")):
+			typ = string(line[len("event: "):])
+		case bytes.HasPrefix(line, []byte("data: ")):
+			data = append(data, line[len("data: "):]...)
+		}
+	}
+	t.Fatalf("SSE stream ended: %v", c.sc.Err())
+	return "", nil
+}
+
+type pushPayload struct {
+	Version uint64        `json:"version"`
+	Results []queryResult `json:"results"`
+}
+
+func (c *sseConn) nextPush(t *testing.T) pushPayload {
+	t.Helper()
+	for {
+		typ, data := c.next(t)
+		if typ != "estimate" {
+			continue
+		}
+		var p pushPayload
+		if err := json.Unmarshal(data, &p); err != nil {
+			t.Fatalf("push %q: %v", data, err)
+		}
+		return p
+	}
+}
+
+func ingestJSON(t *testing.T, url string, updates string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/ingest", "application/json", strings.NewReader(`{"updates":[`+updates+`]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("ingest status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestSubscribeInitialPushThenVersionedPushes(t *testing.T) {
+	_, ts, eng := subTestServer(t, Config{})
+	ingestJSON(t, ts.URL, `{"instance":0,"key":"alpha","weight":2},{"instance":1,"key":"alpha","weight":1}`)
+
+	c := subscribeSSE(t, context.Background(), ts.URL, "func=max&estimator=lstar")
+	initial := c.nextPush(t)
+	if initial.Version != eng.Version() {
+		t.Fatalf("initial push version %d, engine %d", initial.Version, eng.Version())
+	}
+	if len(initial.Results) != 1 || initial.Results[0].Estimate == nil {
+		t.Fatalf("initial push results %+v", initial.Results)
+	}
+
+	ingestJSON(t, ts.URL, `{"instance":0,"key":"beta","weight":5}`)
+	push := c.nextPush(t)
+	if push.Version <= initial.Version {
+		t.Fatalf("push version %d did not advance past %d", push.Version, initial.Version)
+	}
+	if *push.Results[0].Estimate <= *initial.Results[0].Estimate {
+		t.Fatalf("estimate did not grow: %g -> %g", *initial.Results[0].Estimate, *push.Results[0].Estimate)
+	}
+}
+
+// A burst of writes inside one debounce window must yield ONE push whose
+// version reflects the whole burst — not one event per write.
+func TestSubscribeCoalescesWriteBursts(t *testing.T) {
+	s, ts, eng := subTestServer(t, Config{SubscribeDebounce: 80 * time.Millisecond})
+	c := subscribeSSE(t, context.Background(), ts.URL, "")
+	_ = c.nextPush(t) // initial, version 0
+
+	const burst = 20
+	for i := 0; i < burst; i++ {
+		ingestJSON(t, ts.URL, fmt.Sprintf(`{"instance":0,"key":"k%d","weight":%d}`, i, i+1))
+	}
+	push := c.nextPush(t)
+	if push.Version != eng.Version() {
+		// The debounce window may have closed mid-burst; at most one more
+		// push finishes the burst.
+		push = c.nextPush(t)
+	}
+	if push.Version != eng.Version() {
+		t.Fatalf("burst push version %d, engine %d", push.Version, eng.Version())
+	}
+	if co := s.wire.coalesced.Load(); co == 0 {
+		t.Fatal("no wakeups coalesced across a 20-write burst inside one debounce window")
+	}
+	if pushed := s.wire.pushed.Load(); pushed > 4 {
+		t.Fatalf("%d events pushed for one burst; want coalescing to a handful", pushed)
+	}
+}
+
+// A subscriber that never reads must not block ingest or the broadcaster;
+// its oldest events are dropped and the last delivered event is the
+// newest state.
+func TestSubscribeSlowConsumerDropsOldest(t *testing.T) {
+	s, _, eng := subTestServer(t, Config{SubscribeDebounce: time.Millisecond})
+	sub := &subscriber{
+		shareKey: "k",
+		events:   make(chan pushEvent, subscriberBuffer),
+	}
+	sub.lastVersion.Store(subVersionNone)
+	pl := s.newPlanner()
+	q, err := pl.plan(querySpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.queries = []*plannedQuery{q}
+	if err := s.broadcast.register(sub, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer s.broadcast.unregister(sub)
+
+	// Overflow the buffer: each round delivers one event; nobody reads.
+	rounds := subscriberBuffer + 5
+	for i := 0; i < rounds; i++ {
+		if err := eng.Ingest(0, uint64(i), float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		s.broadcast.round() // deterministic: drive rounds directly
+	}
+	if dropped := s.wire.dropped.Load(); dropped == 0 {
+		t.Fatal("overflowing a never-reading subscriber dropped nothing")
+	}
+	// Drain the buffer: the newest queued event must carry the newest
+	// version, and the queue length never exceeds its bound.
+	var last pushEvent
+	n := 0
+	for {
+		select {
+		case last = <-sub.events:
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n > subscriberBuffer {
+		t.Fatalf("queue held %d events, bound is %d", n, subscriberBuffer)
+	}
+	if last.version != eng.Version() {
+		t.Fatalf("newest queued event has version %d, engine %d", last.version, eng.Version())
+	}
+}
+
+func TestSubscribeClientDisconnectUnregisters(t *testing.T) {
+	s, ts, _ := subTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	c := subscribeSSE(t, ctx, ts.URL, "")
+	_ = c.nextPush(t)
+	if n := s.wire.subsActive.Load(); n != 1 {
+		t.Fatalf("active subscribers %d, want 1", n)
+	}
+	cancel() // client vanishes mid-connection
+	deadline := time.Now().Add(5 * time.Second)
+	for s.wire.subsActive.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never unregistered after disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The broadcaster parks once the registry empties: a later mutation
+	// must not panic or leak (nothing to push to).
+	ingestJSON(t, ts.URL, `{"instance":0,"key":"after","weight":1}`)
+}
+
+func TestSubscribeDrainSendsFinalEventAndRefusesNew(t *testing.T) {
+	s, ts, _ := subTestServer(t, Config{})
+	c := subscribeSSE(t, context.Background(), ts.URL, "")
+	_ = c.nextPush(t)
+	s.Drain()
+	for {
+		typ, _ := c.next(t)
+		if typ == "drain" {
+			break
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/subscribe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("subscribe while draining: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestSubscribeLimitAndBadRequests(t *testing.T) {
+	_, ts, _ := subTestServer(t, Config{MaxSubscribers: 1})
+	c := subscribeSSE(t, context.Background(), ts.URL, "")
+	_ = c.nextPush(t)
+
+	get := func(raw string) (int, string) {
+		resp, err := http.Get(ts.URL + "/v1/subscribe?" + raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("func=rg"); code != http.StatusServiceUnavailable {
+		t.Fatalf("over-limit subscribe: %d %s, want 503", code, body)
+	}
+	cases := []string{
+		"bogus=1",
+		"estimator=nope",
+		"statistic=unknown",
+		"queries=[]",
+		"queries=notjson",
+		"queries=" + `[{"statistic":"sum"}]` + "&func=rg", // conflict
+		"ids=12x",
+	}
+	// Free the slot so bad requests hit validation, not the limit.
+	c.resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _ := get("bogus=1")
+		if code == http.StatusBadRequest {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after close")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, raw := range cases {
+		if code, body := get(raw); code != http.StatusBadRequest {
+			t.Fatalf("%q: status %d %s, want 400", raw, code, body)
+		}
+	}
+}
+
+func TestSubscribeMultiQueryMatchesBatchedQuery(t *testing.T) {
+	_, ts, _ := subTestServer(t, Config{})
+	ingestJSON(t, ts.URL, `{"instance":0,"key":"a","weight":2},{"instance":1,"key":"a","weight":3},{"instance":0,"key":"b","weight":1}`)
+
+	specs := `[{"statistic":"sum","func":"rg","p":1,"estimator":"lstar"},{"statistic":"jaccard"},{"statistic":"sum","func":"max","keys":["a"]}]`
+	c := subscribeSSE(t, context.Background(), ts.URL, "queries="+strings.ReplaceAll(specs, "\"", "%22"))
+	push := c.nextPush(t)
+	if len(push.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(push.Results))
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(`{"queries":`+specs+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Version != push.Version {
+		t.Fatalf("versions differ: query %d, push %d", qr.Version, push.Version)
+	}
+	for i := range qr.Results {
+		if *qr.Results[i].Estimate != *push.Results[i].Estimate {
+			t.Fatalf("result %d: query %g != push %g", i, *qr.Results[i].Estimate, *push.Results[i].Estimate)
+		}
+	}
+}
+
+func TestSubscribeHeartbeat(t *testing.T) {
+	_, ts, _ := subTestServer(t, Config{SubscribeHeartbeat: 20 * time.Millisecond})
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/subscribe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.Now().Add(5 * time.Second)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), ": ping") {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	t.Fatal("no heartbeat comment observed")
+}
+
+// Concurrent subscribe/ingest/query churn; run under -race in CI.
+func TestSubscribeConcurrentChurn(t *testing.T) {
+	_, ts, _ := subTestServer(t, Config{SubscribeDebounce: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				ingestJSON(t, ts.URL, fmt.Sprintf(`{"instance":%d,"key":"w%d-%d","weight":%d}`, w%2, w, i, i+1))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+					strings.NewReader(`{"queries":[{"statistic":"sum"}]}`))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sctx, scancel := context.WithTimeout(ctx, 2*time.Second)
+			defer scancel()
+			req, err := http.NewRequestWithContext(sctx, http.MethodGet, ts.URL+"/v1/subscribe", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return
+			}
+			// Read a few events then vanish mid-stream.
+			sc := bufio.NewScanner(resp.Body)
+			for i := 0; i < 6 && sc.Scan(); i++ {
+			}
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+}

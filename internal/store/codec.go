@@ -73,16 +73,23 @@ func decodeUpdates(payload []byte) ([]engine.Update, error) {
 		return nil, fmt.Errorf("store: record declares %d updates in %d payload bytes", n, len(payload))
 	}
 	batch := make([]engine.Update, n)
-	off := 4
+	decodeUpdatesIntoSlice(batch, payload[4:])
+	return batch, nil
+}
+
+// decodeUpdatesIntoSlice fills batch from body (the payload after its
+// count prefix); the caller has already validated len(body) ==
+// len(batch)*updateBytes.
+func decodeUpdatesIntoSlice(batch []engine.Update, body []byte) {
+	off := 0
 	for i := range batch {
 		batch[i] = engine.Update{
-			Instance: int(binary.LittleEndian.Uint32(payload[off:])),
-			Key:      binary.LittleEndian.Uint64(payload[off+4:]),
-			Weight:   math.Float64frombits(binary.LittleEndian.Uint64(payload[off+12:])),
+			Instance: int(binary.LittleEndian.Uint32(body[off:])),
+			Key:      binary.LittleEndian.Uint64(body[off+4:]),
+			Weight:   math.Float64frombits(binary.LittleEndian.Uint64(body[off+12:])),
 		}
 		off += updateBytes
 	}
-	return batch, nil
 }
 
 // EncodeState serializes a dumped engine state as a self-contained,

@@ -1,0 +1,222 @@
+// Package streamclient is the client side of monestd's streaming wire:
+// a binary ingest stream writer (POST /v1/stream) and a Server-Sent
+// Events subscriber (GET /v1/subscribe). cmd/loadgen and the e2e suite
+// drive the daemon through it; external Go writers can too.
+package streamclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+// StreamSummary is the server's response to a finished ingest stream.
+type StreamSummary struct {
+	Frames   int  `json:"frames"`
+	Updates  int  `json:"updates"`
+	Draining bool `json:"draining"`
+}
+
+// Stream is one open binary ingest connection. Send frames with Send;
+// Close ends the stream and returns the server's summary. Not safe for
+// concurrent use.
+type Stream struct {
+	pw   *io.PipeWriter
+	resp chan streamResult
+	buf  []byte
+	sent int
+}
+
+type streamResult struct {
+	summary StreamSummary
+	err     error
+}
+
+// OpenStream starts a POST /v1/stream request against baseURL (e.g.
+// "http://127.0.0.1:8080") using the client (nil = http.DefaultClient).
+// The request body is chunked: frames flow as Send is called, so one
+// connection carries an unbounded update stream with the server applying
+// batches as they arrive.
+func OpenStream(ctx context.Context, client *http.Client, baseURL string) (*Stream, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(baseURL, "/")+"/v1/stream", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", store.StreamContentType)
+	s := &Stream{pw: pw, resp: make(chan streamResult, 1)}
+	go func() {
+		resp, err := client.Do(req)
+		if err != nil {
+			// Unblock a Send stuck writing into the abandoned body.
+			pr.CloseWithError(err)
+			s.resp <- streamResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if resp.StatusCode != http.StatusOK {
+			pr.CloseWithError(fmt.Errorf("stream rejected: %s", strings.TrimSpace(string(body))))
+			s.resp <- streamResult{err: fmt.Errorf("stream: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))}
+			return
+		}
+		if rerr != nil {
+			s.resp <- streamResult{err: rerr}
+			return
+		}
+		var sum StreamSummary
+		if err := json.Unmarshal(body, &sum); err != nil {
+			s.resp <- streamResult{err: fmt.Errorf("stream summary: %w", err)}
+			return
+		}
+		s.resp <- streamResult{summary: sum}
+	}()
+	// The magic rides ahead of the first frame in one write.
+	s.buf = store.AppendStreamHeader(s.buf[:0])
+	return s, nil
+}
+
+// Send frames one update batch and writes it to the connection. An error
+// usually means the server rejected the stream; Close returns the cause.
+func (s *Stream) Send(batch []engine.Update) error {
+	s.buf = store.AppendFrame(s.buf, batch)
+	_, err := s.pw.Write(s.buf)
+	s.buf = s.buf[:0]
+	if err == nil {
+		s.sent++
+	}
+	return err
+}
+
+// Sent reports how many frames were written so far.
+func (s *Stream) Sent() int { return s.sent }
+
+// Close ends the stream cleanly and returns the server's summary.
+func (s *Stream) Close() (StreamSummary, error) {
+	s.pw.Close()
+	r := <-s.resp
+	return r.summary, r.err
+}
+
+// Event is one decoded SSE event from /v1/subscribe.
+type Event struct {
+	// Type is the SSE event name: "estimate" or "drain".
+	Type string
+	// ID is the raw SSE id line — the engine version for estimate events.
+	ID string
+	// Data is the event's data payload (JSON for estimate events).
+	Data []byte
+}
+
+// Push is a decoded estimate event: the engine version the results
+// reflect plus the raw per-query result objects, exactly as POST
+// /v1/query would return them.
+type Push struct {
+	Version uint64            `json:"version"`
+	Results []json.RawMessage `json:"results"`
+}
+
+// Subscription is one open /v1/subscribe connection.
+type Subscription struct {
+	resp *http.Response
+	sc   *bufio.Scanner
+}
+
+// Subscribe opens GET /v1/subscribe with the given raw query string
+// (e.g. "func=rg&p=1&estimator=lstar" or "queries=[...]"). A non-200
+// response is returned as an error carrying the server's message.
+func Subscribe(ctx context.Context, client *http.Client, baseURL, rawQuery string) (*Subscription, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := strings.TrimSuffix(baseURL, "/") + "/v1/subscribe"
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		return nil, fmt.Errorf("subscribe: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return &Subscription{resp: resp, sc: sc}, nil
+}
+
+// Next blocks until the next event arrives (heartbeat comments are
+// skipped) and returns it. io.EOF means the server closed the stream.
+func (s *Subscription) Next() (Event, error) {
+	var ev Event
+	haveData := false
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		switch {
+		case len(line) == 0:
+			if ev.Type != "" || haveData {
+				return ev, nil
+			}
+			// Blank after a comment-only block: keep waiting.
+		case line[0] == ':':
+			// Heartbeat comment.
+		case bytes.HasPrefix(line, []byte("event: ")):
+			ev.Type = string(line[len("event: "):])
+		case bytes.HasPrefix(line, []byte("id: ")):
+			ev.ID = string(line[len("id: "):])
+		case bytes.HasPrefix(line, []byte("data: ")):
+			ev.Data = append(ev.Data, line[len("data: "):]...)
+			haveData = true
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}
+
+// NextPush reads events until the next "estimate" event and decodes it.
+func (s *Subscription) NextPush() (Push, error) {
+	for {
+		ev, err := s.Next()
+		if err != nil {
+			return Push{}, err
+		}
+		if ev.Type != "estimate" {
+			continue
+		}
+		var p Push
+		if err := json.Unmarshal(ev.Data, &p); err != nil {
+			return Push{}, fmt.Errorf("decoding push %q: %w", ev.Data, err)
+		}
+		if ev.ID != "" {
+			if id, err := strconv.ParseUint(ev.ID, 10, 64); err == nil && id != p.Version {
+				return Push{}, fmt.Errorf("push id %d disagrees with payload version %d", id, p.Version)
+			}
+		}
+		return p, nil
+	}
+}
+
+// Close tears down the subscription connection.
+func (s *Subscription) Close() error { return s.resp.Body.Close() }
