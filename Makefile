@@ -10,12 +10,15 @@ BENCH_GATE     ?= BENCH_gate.json
 # The hot-path allowlist the benchmark gate enforces (everything else
 # stays advisory via benchcmp). Names are post-GOMAXPROCS-strip; the $$
 # doubling is Makefile escaping for a literal $.
-GATE_ALLOW     ?= ^(BenchmarkIngestBatch|BenchmarkQueryInvalidated|BenchmarkStreamIngest256|BenchmarkSnapshotIncremental/keys=16384)$$
+GATE_ALLOW     ?= ^(BenchmarkIngestBatch|BenchmarkQueryInvalidated|BenchmarkStreamIngest256|BenchmarkSnapshotIncremental/keys=16384|BenchmarkClusterQuery|BenchmarkScatterGather/cluster-64k-3nodes|BenchmarkScatterGather/single-16k)$$
 # The matching `go test -bench` selectors. Two because go's slash-
 # segmented pattern treats a two-segment regex as sub-benchmark-only: a
-# leaf benchmark (no b.Run) never reports under it.
+# leaf benchmark (no b.Run) never reports under it. The cluster pair
+# runs separately: its package boots in-process HTTP clusters, so its
+# benchmarks stay out of the engine/server/store selector.
 GATE_BENCH     ?= ^(BenchmarkIngestBatch|BenchmarkQueryInvalidated|BenchmarkStreamIngest256)$$
 GATE_BENCH_SUB ?= ^BenchmarkSnapshotIncremental$$/^keys=16384$$
+GATE_BENCH_CLUSTER ?= ^(BenchmarkClusterQuery|BenchmarkScatterGather)$$
 GATE_MAX       ?= 1.30
 
 .PHONY: build test race bench bench-baseline benchcmp benchgate e2e lint
@@ -33,7 +36,7 @@ race:
 # for every push, structured enough to accumulate a perf trajectory from
 # the uploaded BENCH_<sha>.json artifacts.
 bench:
-	$(GO) test -json -run xxx -bench . -benchtime 1x ./internal/engine/ ./internal/server/ ./internal/store/ > $(BENCH_OUT)
+	$(GO) test -json -run xxx -bench . -benchtime 1x ./internal/engine/ ./internal/server/ ./internal/store/ ./internal/cluster/ > $(BENCH_OUT)
 	@echo "benchmark results written to $(BENCH_OUT)"
 
 # Regenerates the committed baseline: the full 1-iteration sweep plus
@@ -44,6 +47,7 @@ bench-baseline:
 	$(MAKE) bench BENCH_OUT=$(BENCH_BASELINE)
 	$(GO) test -json -run xxx -bench '$(GATE_BENCH)' -benchtime 100x -count 3 ./internal/engine/ ./internal/server/ >> $(BENCH_BASELINE)
 	$(GO) test -json -run xxx -bench '$(GATE_BENCH_SUB)' -benchtime 100x -count 3 ./internal/engine/ >> $(BENCH_BASELINE)
+	$(GO) test -json -run xxx -bench '$(GATE_BENCH_CLUSTER)' -benchtime 100x -count 3 ./internal/cluster/ >> $(BENCH_BASELINE)
 	@echo "baseline regenerated in $(BENCH_BASELINE)"
 
 # Compares a bench run against the committed baseline
@@ -76,6 +80,7 @@ endif
 benchgate:
 	$(GO) test -json -run xxx -bench '$(GATE_BENCH)' -benchtime 100x -count 3 ./internal/engine/ ./internal/server/ > $(BENCH_GATE)
 	$(GO) test -json -run xxx -bench '$(GATE_BENCH_SUB)' -benchtime 100x -count 3 ./internal/engine/ >> $(BENCH_GATE)
+	$(GO) test -json -run xxx -bench '$(GATE_BENCH_CLUSTER)' -benchtime 100x -count 3 ./internal/cluster/ >> $(BENCH_GATE)
 	$(GO) run ./cmd/benchtext -gate -allow '$(GATE_ALLOW)' -max-regress $(GATE_MAX) $(BENCH_BASELINE) $(BENCH_GATE)
 
 # Full-wire end-to-end: builds monestd + loadgen, boots the daemon with a

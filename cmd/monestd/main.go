@@ -41,6 +41,20 @@
 // demand); a final checkpoint is always written on graceful shutdown.
 // Without -data-dir the daemon is in-memory only, as before.
 //
+// Cluster mode: -cluster=url1,url2,... turns the process into a
+// coordinator over N monestd nodes sharing the same -salt/-instances/-k.
+// Reads scatter-gather the nodes' binary sketch states (GET /v1/sketch
+// with per-node version-vector caching — unchanged nodes answer 304 and
+// transfer nothing), fold them losslessly into a local merge engine, and
+// serve the full /v1/query//v1/subscribe surface from the merged
+// snapshot, bit-identical to a single node fed the union stream. Writes
+// to the coordinator's /v1/ingest and /v1/stream forward synchronously to
+// the consistent-hash ring owners. A member node down makes reads answer
+// 503 (degraded mode) instead of silently under-counting. -cluster-poll
+// keeps subscriptions live without query traffic; -cluster-sync-max-stale
+// bounds sync frequency under read load; -data-dir is rejected (nodes own
+// durability — the coordinator rebuilds from them on the next sync).
+//
 // -pprof mounts net/http/pprof under /debug/pprof/ on the same listener.
 //
 // Example session:
@@ -72,6 +86,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/estreg"
 	"repro/internal/funcs"
@@ -99,6 +114,12 @@ type options struct {
 	fsync        string
 	checkpointIv time.Duration
 	pprof        bool
+
+	cluster        string
+	clusterVNodes  int
+	clusterTimeout time.Duration
+	clusterPoll    time.Duration
+	clusterStale   time.Duration
 }
 
 func main() {
@@ -117,6 +138,11 @@ func main() {
 	flag.StringVar(&o.fsync, "fsync", "interval", "WAL flush policy: always, interval, never")
 	flag.DurationVar(&o.checkpointIv, "checkpoint-interval", time.Minute, "periodic checkpoint period (0 = only on demand and shutdown)")
 	flag.BoolVar(&o.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
+	flag.StringVar(&o.cluster, "cluster", "", "comma-separated node base URLs; when set, serve as cluster coordinator")
+	flag.IntVar(&o.clusterVNodes, "cluster-vnodes", 0, "virtual nodes per cluster member (0 = default 64)")
+	flag.DurationVar(&o.clusterTimeout, "cluster-timeout", 2*time.Second, "per-node request timeout in cluster mode")
+	flag.DurationVar(&o.clusterPoll, "cluster-poll", 200*time.Millisecond, "background node-sync period driving /v1/subscribe pushes (0 = query-driven only)")
+	flag.DurationVar(&o.clusterStale, "cluster-sync-max-stale", 0, "skip node re-sync when the last one is at most this old (0 = sync per read)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -139,13 +165,47 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	eng, err := engine.New(engine.Config{
+	engCfg := engine.Config{
 		Instances: o.instances,
 		K:         o.k,
 		Shards:    o.shards,
 		Hash:      sampling.NewSeedHash(o.salt),
-	})
-	if err != nil {
+	}
+
+	// Cluster mode: this process becomes a coordinator — the engine it
+	// serves is the coordinator's merge engine, reads scatter-gather the
+	// member nodes' binary sketches, and ingest routes to ring owners. The
+	// coordinator is deliberately stateless (its contents rebuild from the
+	// nodes on the next sync), so -data-dir belongs on the nodes, not here.
+	var coord *cluster.Coordinator
+	if o.cluster != "" {
+		if o.dataDir != "" {
+			return errors.New("-data-dir cannot be combined with -cluster (durability lives on the nodes; the coordinator rebuilds from them)")
+		}
+		var nodes []string
+		for _, n := range strings.Split(o.cluster, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, strings.TrimSuffix(n, "/"))
+			}
+		}
+		coord, err = cluster.New(cluster.Config{
+			Nodes:        nodes,
+			VirtualNodes: o.clusterVNodes,
+			Engine:       engCfg,
+			Timeout:      o.clusterTimeout,
+			Poll:         o.clusterPoll,
+			SyncMaxStale: o.clusterStale,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+	}
+
+	var eng *engine.Engine
+	if coord != nil {
+		eng = coord.Engine()
+	} else if eng, err = engine.New(engCfg); err != nil {
 		return err
 	}
 	reg := estreg.Default()
@@ -212,14 +272,19 @@ func run(o options) error {
 		}
 	}
 
-	api := server.NewWith(eng, server.Config{
+	srvCfg := server.Config{
 		Registry:           reg,
 		DefaultEstimator:   o.defaultEst,
 		SnapshotMaxStale:   o.maxStale,
 		Persist:            persist,
 		SubscribeDebounce:  o.subDebounce,
 		SubscribeHeartbeat: o.subHeartbeat,
-	})
+	}
+	if coord != nil {
+		srvCfg.Snapshots = coord
+		srvCfg.Ingest = coord
+	}
+	api := server.NewWith(eng, srvCfg)
 	var handler http.Handler = api
 	if o.pprof {
 		mux := http.NewServeMux()
@@ -262,8 +327,13 @@ func run(o options) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (instances=%d k=%d shards=%d salt=%d snapshot-max-stale=%v data-dir=%q fsync=%v)",
-			o.addr, o.instances, o.k, o.shards, o.salt, o.maxStale, o.dataDir, fsyncPolicy)
+		if coord != nil {
+			logger.Printf("listening on %s as cluster coordinator over %d nodes %v (instances=%d k=%d salt=%d poll=%v timeout=%v)",
+				o.addr, len(coord.Ring().Nodes()), coord.Ring().Nodes(), o.instances, o.k, o.salt, o.clusterPoll, o.clusterTimeout)
+		} else {
+			logger.Printf("listening on %s (instances=%d k=%d shards=%d salt=%d snapshot-max-stale=%v data-dir=%q fsync=%v)",
+				o.addr, o.instances, o.k, o.shards, o.salt, o.maxStale, o.dataDir, fsyncPolicy)
+		}
 		errc <- srv.ListenAndServe()
 	}()
 

@@ -1,0 +1,169 @@
+package cluster_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/sampling"
+	"repro/internal/server"
+)
+
+// benchCluster is an in-process cluster without persistence: n nodes
+// behind real HTTP, totalKeys spread by ring ownership, one initial
+// sync so the coordinator's version vector is warm. Returned mutKey is
+// a key owned by node 0 — the benchmark's single-node write target.
+type benchCluster struct {
+	coord *cluster.Coordinator
+	engs  []*engine.Engine
+	srvs  []*httptest.Server
+	mut   uint64
+}
+
+func newBenchCluster(tb testing.TB, nodeCount, totalKeys int) *benchCluster {
+	tb.Helper()
+	cfg := engine.Config{Instances: 2, K: 16, Shards: 4, Hash: sampling.NewSeedHash(3)}
+	c := &benchCluster{}
+	urls := make([]string, nodeCount)
+	for i := 0; i < nodeCount; i++ {
+		eng, err := engine.New(cfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		srv := httptest.NewServer(server.New(eng))
+		c.engs = append(c.engs, eng)
+		c.srvs = append(c.srvs, srv)
+		urls[i] = srv.URL
+	}
+	coord, err := cluster.New(cluster.Config{Nodes: urls, Engine: cfg, Timeout: 10 * time.Second})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c.coord = coord
+
+	ring := coord.Ring()
+	per := make([][]engine.Update, nodeCount)
+	for key := 0; key < totalKeys; key++ {
+		u := engine.Update{Instance: key % 2, Key: uint64(key), Weight: 1 + float64(key%97)}
+		per[ring.Owner(u.Key)] = append(per[ring.Owner(u.Key)], u)
+		if ring.Owner(u.Key) == 0 {
+			c.mut = u.Key
+		}
+	}
+	for i, batch := range per {
+		if err := c.engs[i].IngestBatch(batch); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := coord.Sync(context.Background()); err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() {
+		coord.Close()
+		for _, s := range c.srvs {
+			s.Close()
+		}
+	})
+	return c
+}
+
+// mutateAndSync is one coordinator read after one single-key write: the
+// write bumps node 0's version, so the sync re-fetches exactly that
+// node's reduced state (the others answer 304) and folds it in.
+func (c *benchCluster) mutateAndSync(tb testing.TB, round int) {
+	if err := c.engs[0].Ingest(0, c.mut, 1e6+float64(round)); err != nil {
+		tb.Fatal(err)
+	}
+	if err := c.coord.Sync(context.Background()); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkScatterGather pins the cluster scaling claim: a coordinator
+// query after a single-node write costs one PER-NODE reduced sketch
+// (fetch + decode + fold), not the cluster's total key count. The
+// cluster case holds 64k keys on 3 nodes (~21k keys per fetched
+// artifact); the single case 16k keys on 1 node — if cost scaled with
+// total keys the ratio would be 4x, with per-node state ~1.3x.
+func BenchmarkScatterGather(b *testing.B) {
+	for _, bc := range []struct {
+		name             string
+		nodes, totalKeys int
+	}{
+		{"cluster-64k-3nodes", 3, 64 << 10},
+		{"single-16k", 1, 16 << 10},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			c := newBenchCluster(b, bc.nodes, bc.totalKeys)
+			before := c.coord.Stats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.mutateAndSync(b, i)
+			}
+			b.StopTimer()
+			after := c.coord.Stats()
+			b.ReportMetric(float64(after.StateBytes-before.StateBytes)/float64(b.N), "stateB/op")
+			if got, want := after.Fetches-before.Fetches, uint64(b.N); got != want {
+				b.Fatalf("fetches = %d, want %d (one node per sync)", got, want)
+			}
+		})
+	}
+}
+
+// BenchmarkClusterQuery is the steady state: coordinator reads with no
+// node writes in between. Every node answers 304 off one atomic load,
+// no state moves, and the merge engine serves its published snapshot —
+// the version-vector cache at work.
+func BenchmarkClusterQuery(b *testing.B) {
+	c := newBenchCluster(b, 3, 64<<10)
+	if _, err := c.coord.AcquireSnapshot(); err != nil {
+		b.Fatal(err)
+	}
+	before := c.coord.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.coord.AcquireSnapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	after := c.coord.Stats()
+	if got := after.Fetches - before.Fetches; got != 0 {
+		b.Fatalf("steady-state queries fetched %d states, want 0", got)
+	}
+	if got := after.StateBytes - before.StateBytes; got != 0 {
+		b.Fatalf("steady-state queries moved %d bytes, want 0", got)
+	}
+}
+
+// TestScatterGatherTransfersPerNodeState is the deterministic half of
+// the BenchmarkScatterGather claim, free of timing: after a single-node
+// write, the sync's wire traffic is that node's artifact — for 64k keys
+// on 3 nodes, well under 2x the single-node-16k artifact (~1.3x), where
+// total-key scaling would make it 4x.
+func TestScatterGatherTransfersPerNodeState(t *testing.T) {
+	perSync := func(nodes, totalKeys int) uint64 {
+		c := newBenchCluster(t, nodes, totalKeys)
+		const rounds = 4
+		before := c.coord.Stats()
+		for i := 0; i < rounds; i++ {
+			c.mutateAndSync(t, i)
+		}
+		after := c.coord.Stats()
+		if got, want := after.Fetches-before.Fetches, uint64(rounds); got != want {
+			t.Fatalf("fetches = %d, want %d (one node per sync)", got, want)
+		}
+		return (after.StateBytes - before.StateBytes) / rounds
+	}
+	clusterBytes := perSync(3, 64<<10)
+	singleBytes := perSync(1, 16<<10)
+	if clusterBytes >= 2*singleBytes {
+		t.Fatalf("per-sync transfer %d B for 64k/3-node cluster vs %d B for single-16k: not within 2x",
+			clusterBytes, singleBytes)
+	}
+	t.Logf("per-sync transfer: cluster-64k-3nodes %d B, single-16k %d B (%.2fx)",
+		clusterBytes, singleBytes, float64(clusterBytes)/float64(singleBytes))
+}

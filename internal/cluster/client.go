@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/store"
+)
+
+// This file is the coordinator's client side of the node wire: binary
+// sketch fetches (GET /v1/sketch with If-None-Match) and synchronous
+// routed ingest (one-shot POST /v1/stream bodies). Both move the same
+// binary formats the node persists and exports — wire == disk == export.
+
+// maxSketchBody caps a fetched node artifact (matches the server's
+// /v1/import bound: a 1M-key 2-instance artifact is ~40 MiB).
+const maxSketchBody = 64 << 20
+
+// ingestFrameUpdates chunks one routed batch into stream frames. Well
+// under store.MaxStreamFrameBytes at ~17 B/update encoded.
+const ingestFrameUpdates = 4096
+
+// NodeError is a failure to reach or use one cluster node. It carries
+// the HTTP status when the node answered (0 for transport failures), and
+// reports Unavailable() for the cases where the node is effectively gone
+// — the signal internal/server turns into a 503 degraded-mode response.
+type NodeError struct {
+	Addr   string
+	Status int // 0 = no HTTP response (dial/timeout/transport)
+	Err    error
+}
+
+func (e *NodeError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("cluster node %s: status %d: %v", e.Addr, e.Status, e.Err)
+	}
+	return fmt.Sprintf("cluster node %s: %v", e.Addr, e.Err)
+}
+
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// Unavailable reports whether the failure means the node is unreachable
+// or broken (transport error or 5xx), as opposed to rejecting the
+// request itself (4xx — a config mismatch the operator must fix).
+func (e *NodeError) Unavailable() bool { return e.Status == 0 || e.Status >= 500 }
+
+// nodeClient speaks the sketch-exchange wire to one node.
+type nodeClient struct {
+	addr    string // base URL, e.g. "http://127.0.0.1:9001"
+	hc      *http.Client
+	timeout time.Duration
+	retries int
+	// version is the node's engine version at the last successful fetch
+	// (the /v1/sketch ETag) — the coordinator's version-vector entry for
+	// this node. have flags that version holds a real fetch.
+	version atomic.Uint64
+	have    atomic.Bool
+}
+
+// retrying runs op up to 1+retries times, retrying only failures that
+// might be transient (transport errors and 5xx), with a brief pause so a
+// restarting node can finish binding its listener.
+func (n *nodeClient) retrying(ctx context.Context, op func(context.Context) error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		actx, cancel := context.WithTimeout(ctx, n.timeout)
+		err = op(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		ne, ok := err.(*NodeError)
+		if !ok || !ne.Unavailable() || attempt >= n.retries {
+			return err
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return err
+		}
+	}
+}
+
+// fetchSketch GETs the node's binary state. When the coordinator already
+// holds the node's current version, the conditional request answers 304
+// and a nil state comes back without a byte of state on the wire; a 200
+// decodes the artifact and advances the version vector entry to the
+// response ETag. size reports the state bytes transferred.
+func (n *nodeClient) fetchSketch(ctx context.Context) (st *engine.State, size int, err error) {
+	err = n.retrying(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.addr+"/v1/sketch", nil)
+		if err != nil {
+			return &NodeError{Addr: n.addr, Err: err}
+		}
+		if n.have.Load() {
+			req.Header.Set("If-None-Match", `"`+strconv.FormatUint(n.version.Load(), 10)+`"`)
+		}
+		resp, err := n.hc.Do(req)
+		if err != nil {
+			return &NodeError{Addr: n.addr, Err: err}
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusNotModified:
+			st = nil
+			return nil
+		case http.StatusOK:
+			data, err := io.ReadAll(io.LimitReader(resp.Body, maxSketchBody+1))
+			if err != nil {
+				return &NodeError{Addr: n.addr, Err: fmt.Errorf("reading sketch: %w", err)}
+			}
+			if len(data) > maxSketchBody {
+				return &NodeError{Addr: n.addr, Status: resp.StatusCode,
+					Err: fmt.Errorf("sketch exceeds %d bytes", maxSketchBody)}
+			}
+			decoded, err := store.DecodeState(data)
+			if err != nil {
+				return &NodeError{Addr: n.addr, Status: resp.StatusCode, Err: err}
+			}
+			st, size = decoded, len(data)
+			// The artifact's own cut version IS the ETag (sketch.go labels
+			// the bytes, not the moment); trusting it keeps the vector
+			// entry and the merged contents atomic with each other.
+			n.version.Store(decoded.Version)
+			n.have.Store(true)
+			return nil
+		default:
+			return nodeHTTPError(n.addr, resp)
+		}
+	})
+	return st, size, err
+}
+
+// sendBatch streams one routed update batch to the node as a one-shot
+// binary /v1/stream request, SYNCHRONOUSLY: the 200 arrives only after
+// the node applied every frame, so a coordinator 200 on /v1/ingest means
+// the owner nodes have the updates — read-your-writes through the
+// coordinator holds. Safe to retry: sketch folds are idempotent under
+// max-weight union.
+func (n *nodeClient) sendBatch(ctx context.Context, batch []engine.Update) error {
+	return n.retrying(ctx, func(ctx context.Context) error {
+		buf := store.AppendStreamHeader(nil)
+		for lo := 0; lo < len(batch); lo += ingestFrameUpdates {
+			buf = store.AppendFrame(buf, batch[lo:min(lo+ingestFrameUpdates, len(batch))])
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.addr+"/v1/stream", bytes.NewReader(buf))
+		if err != nil {
+			return &NodeError{Addr: n.addr, Err: err}
+		}
+		req.Header.Set("Content-Type", store.StreamContentType)
+		resp, err := n.hc.Do(req)
+		if err != nil {
+			return &NodeError{Addr: n.addr, Err: err}
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nodeHTTPError(n.addr, resp)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body) // keep the connection reusable
+		return nil
+	})
+}
+
+// nodeHTTPError wraps a non-success node response, carrying (a prefix
+// of) the body — the node's structured error envelope — as the message.
+func nodeHTTPError(addr string, resp *http.Response) *NodeError {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &NodeError{Addr: addr, Status: resp.StatusCode, Err: fmt.Errorf("%s", msg)}
+}

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Coordinator fronts a cluster of monestd nodes with the full single-node
+// serving surface. It satisfies internal/server's SnapshotSource (reads:
+// scatter-gather the nodes' reduced sketch states, fold them into a local
+// merge engine, serve its snapshot) and Ingestor (writes: partition each
+// batch by ring owner and forward synchronously over the binary stream
+// wire). Correctness rests on lossless coordinated-sketch merging: the
+// merge engine's snapshot is bit-identical to a single engine fed the
+// union stream, so every estimator, cache and push layer above works
+// unchanged.
+//
+// Consistency model: reads are strict, not best-effort. A query triggers
+// one version-vector sync — each node answers a conditional /v1/sketch
+// fetch, transferring state only when its version advanced (steady state:
+// N tiny 304s, zero state bytes, no merge) — and any unreachable node
+// fails the read with a degraded-mode error (HTTP 503 through
+// internal/server) rather than silently serving estimates missing a key
+// range. SyncMaxStale optionally bounds how often the vector is polled
+// under read load, trading staleness for N-fold fewer round trips.
+type Coordinator struct {
+	ring  *Ring
+	merge *engine.Engine
+	nodes []*nodeClient
+	cfg   Config
+
+	// syncMu single-flights scatter-gather rounds; concurrent readers
+	// piggyback on the round in flight instead of stampeding the nodes.
+	syncMu   sync.Mutex
+	lastSync time.Time
+
+	stats coordStats
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+}
+
+// Config configures a Coordinator.
+type Config struct {
+	// Nodes are the member base URLs (e.g. "http://10.0.0.1:8080"), the
+	// ring identity: every coordinator configured with the same list and
+	// salt routes identically.
+	Nodes []string
+	// VirtualNodes is the per-node vnode count (0 = DefaultVirtualNodes).
+	VirtualNodes int
+	// Engine configures the local merge engine; Instances, K and the seed
+	// hash must match the nodes' or merges are rejected (seed-fingerprint
+	// check in the artifact decoder).
+	Engine engine.Config
+	// Timeout bounds each node request attempt (0 = 2s).
+	Timeout time.Duration
+	// Retries is how many extra attempts transiently-failing node
+	// requests get (default 1; negative = none).
+	Retries int
+	// SyncMaxStale skips the version-vector round when the last sync is
+	// at most this old (0 = every read syncs — strict read-your-writes
+	// through the coordinator).
+	SyncMaxStale time.Duration
+	// Poll, when positive, runs a background sync loop so /v1/subscribe
+	// pushes fire on node-side mutations even with no query traffic.
+	Poll time.Duration
+	// Client is the HTTP client for node traffic (nil = a dedicated
+	// client with keep-alives, suitable for the 304-heavy steady state).
+	Client *http.Client
+}
+
+// coordStats counts scatter-gather traffic (atomics; read via Stats).
+type coordStats struct {
+	syncs       atomic.Uint64
+	fetches     atomic.Uint64
+	notModified atomic.Uint64
+	stateBytes  atomic.Uint64
+	routed      atomic.Uint64
+}
+
+// Stats is a snapshot of the coordinator's scatter-gather counters.
+type Stats struct {
+	// Syncs counts completed scatter-gather rounds.
+	Syncs uint64 `json:"syncs"`
+	// Fetches counts 200 sketch responses (node state actually
+	// transferred and merged); NotModified counts 304s (version vector
+	// hit — nothing re-fetched).
+	Fetches     uint64 `json:"fetches"`
+	NotModified uint64 `json:"not_modified"`
+	// StateBytes totals artifact bytes fetched from nodes.
+	StateBytes uint64 `json:"state_bytes"`
+	// RoutedUpdates counts updates forwarded to owner nodes.
+	RoutedUpdates uint64 `json:"routed_updates"`
+}
+
+// New builds a coordinator and its empty merge engine. It performs no
+// I/O; the first read or poll tick populates the merge engine.
+func New(cfg Config) (*Coordinator, error) {
+	ring, err := NewRing(cfg.Engine.Hash, cfg.Nodes, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	merge, err := engine.New(cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: merge engine: %w", err)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 1
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	c := &Coordinator{
+		ring:    ring,
+		merge:   merge,
+		cfg:     cfg,
+		stopped: make(chan struct{}),
+	}
+	for _, addr := range ring.Nodes() {
+		c.nodes = append(c.nodes, &nodeClient{
+			addr:    addr,
+			hc:      hc,
+			timeout: cfg.Timeout,
+			retries: cfg.Retries,
+		})
+	}
+	if cfg.Poll > 0 {
+		go c.pollLoop()
+	}
+	return c, nil
+}
+
+// Engine exposes the merge engine — the engine a server in cluster mode
+// is constructed over, so /v1/stats, /v1/export and the subscription
+// mutation signal all describe the merged cluster state.
+func (c *Coordinator) Engine() *engine.Engine { return c.merge }
+
+// Ring exposes the routing ring (tests and diagnostics).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Stats returns the scatter-gather counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Syncs:         c.stats.syncs.Load(),
+		Fetches:       c.stats.fetches.Load(),
+		NotModified:   c.stats.notModified.Load(),
+		StateBytes:    c.stats.stateBytes.Load(),
+		RoutedUpdates: c.stats.routed.Load(),
+	}
+}
+
+// Close stops the background poll loop. Idempotent.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stopped) })
+}
+
+func (c *Coordinator) pollLoop() {
+	t := time.NewTicker(c.cfg.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// A poll failure is not actionable here: reads surface it as
+			// 503 and the next tick retries.
+			_ = c.Sync(context.Background())
+		case <-c.stopped:
+			return
+		}
+	}
+}
+
+// Sync runs one scatter-gather round: every node is asked for its state
+// conditionally on the version vector, concurrently; changed states fold
+// into the merge engine in node order (order only affects mutation
+// accounting — max-union is commutative). Rounds are single-flighted and
+// optionally rate-bounded by SyncMaxStale. Any node failure fails the
+// round with that node's error; state merged before the failure stays
+// (folds are monotone — a later successful round completes the picture).
+func (c *Coordinator) Sync(ctx context.Context) error {
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	if c.cfg.SyncMaxStale > 0 && time.Since(c.lastSync) < c.cfg.SyncMaxStale {
+		return nil
+	}
+	type fetched struct {
+		st   *engine.State
+		size int
+		err  error
+	}
+	results := make([]fetched, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *nodeClient) {
+			defer wg.Done()
+			st, size, err := n.fetchSketch(ctx)
+			results[i] = fetched{st: st, size: size, err: err}
+		}(i, n)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.err != nil {
+			return res.err
+		}
+		if res.st == nil {
+			c.stats.notModified.Add(1)
+			continue
+		}
+		if err := c.merge.MergeState(res.st); err != nil {
+			return &NodeError{Addr: c.nodes[i].addr, Status: http.StatusOK,
+				Err: fmt.Errorf("merging sketch: %w", err)}
+		}
+		c.stats.fetches.Add(1)
+		c.stats.stateBytes.Add(uint64(res.size))
+	}
+	c.stats.syncs.Add(1)
+	c.lastSync = time.Now()
+	return nil
+}
+
+// AcquireSnapshot implements internal/server's SnapshotSource: sync the
+// version vector, then cut the merge engine. The returned view's version
+// is the merge engine's mutation version — it advances exactly when some
+// node's folded-in state changed the merged contents, so the server's
+// per-version memo and the SSE id lines work across the cluster
+// unchanged.
+func (c *Coordinator) AcquireSnapshot() (engine.SnapshotView, error) {
+	if err := c.Sync(context.Background()); err != nil {
+		return engine.SnapshotView{}, err
+	}
+	return c.merge.FreshView(), nil
+}
+
+// IngestBatch implements internal/server's Ingestor: partition the batch
+// by ring owner and forward each node's share concurrently as one
+// synchronous binary stream request. The call returns only when every
+// owner applied its share, so a 200 from the coordinator's /v1/ingest or
+// /v1/stream means the cluster has the updates. A failed owner fails the
+// batch (other nodes' shares stay applied — same non-transactional
+// semantics as sequential /v1/ingest batches on one node).
+func (c *Coordinator) IngestBatch(batch []engine.Update) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	per := make([][]engine.Update, len(c.nodes))
+	for _, u := range batch {
+		i := c.ring.Owner(u.Key)
+		per[i] = append(per[i], u)
+	}
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, part := range per {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, part []engine.Update) {
+			defer wg.Done()
+			errs[i] = c.nodes[i].sendBatch(context.Background(), part)
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	c.stats.routed.Add(uint64(len(batch)))
+	return nil
+}

@@ -51,6 +51,14 @@ type partition struct {
 	// outcomes are the reduced per-item outcomes, parallel to keys, backed
 	// by partition-private arenas.
 	outcomes []sampling.TupleOutcome
+	// ranks holds, per instance, the k+1 smallest retained ranks of THIS
+	// partition (sorted ascending). It serves double duty: the global
+	// threshold gather works from these short lists instead of every
+	// retained entry (the k+1 smallest of a union are each among their own
+	// partition's k+1 smallest), and an unchanged ranks cache across a
+	// rebuild proves the partition's threshold contribution is unchanged —
+	// the threshold-stable skip's evidence.
+	ranks [][]float64
 	// sampled and active are the partition's contributions to the sample's
 	// SampledEntries / TotalEntries bookkeeping.
 	sampled int
@@ -89,6 +97,7 @@ func (e *Engine) rebuildLocked() SnapshotView {
 	// Consistent cut: all shard locks in index order; dirty shards have
 	// their keys and heap entries copied out, clean shards cost one atomic
 	// load — their cached partition is provably identical (invariant 1).
+	prev := make([]*partition, ns)
 	for _, sh := range e.shards {
 		sh.mu.Lock()
 	}
@@ -102,6 +111,7 @@ func (e *Engine) rebuildLocked() SnapshotView {
 		}
 		anyDirty = true
 		dirty[s] = true
+		prev[s] = old
 		p := &partition{muts: m, active: sh.activeEntries, retained: make([][]bkEntry, r)}
 		if old != nil && len(old.keys) == len(sh.items) {
 			p.keys = old.keys // invariant 2: same count ⇒ same sorted set
@@ -143,23 +153,55 @@ func (e *Engine) rebuildLocked() SnapshotView {
 		}
 	}
 
-	// Global thresholds from every partition's retained ranks. The k+1
-	// smallest ranks are a set of values, so gathering them per shard in
-	// key order reproduces the monolithic reduction's thresholds exactly.
-	insts := make([]instThresholds, r)
+	// Refresh each dirty partition's per-instance k+1 smallest rank cache.
+	// When every dirty partition's cache comes out unchanged, no partition's
+	// threshold contribution moved (clean partitions are unchanged by
+	// invariant 1), so the global thresholds provably equal the cached
+	// e.insts — the whole re-gather is skipped. This is the common case for
+	// registry-only churn: new (instance, key) activity whose rank never
+	// makes the shard's bottom-(k+1) heap still flips a mask bit (a visible
+	// mutation, so a rebuild runs) without moving any retained rank.
 	var ranks []float64
-	for i := 0; i < r; i++ {
-		ranks = ranks[:0]
-		for _, p := range e.parts {
+	ranksStable := e.insts != nil
+	for s, p := range e.parts {
+		if !dirty[s] {
+			continue
+		}
+		p.ranks = make([][]float64, r)
+		for i := 0; i < r; i++ {
+			ranks = ranks[:0]
 			for _, en := range p.retained[i] {
 				ranks = append(ranks, en.rank)
 			}
+			p.ranks[i] = sampling.KSmallest(ranks, k+1)
 		}
-		insts[i] = newInstThresholds(sampling.KSmallest(ranks, k+1), k)
+		if old := prev[s]; old == nil || !old.reduced || !rankCachesEqual(old.ranks, p.ranks) {
+			ranksStable = false
+		}
 	}
-	threshChanged := !slices.Equal(insts, e.insts)
-	if threshChanged && e.insts != nil {
-		e.snapCtr.threshRefreshes.Add(1)
+
+	// Global thresholds from every partition's rank cache. The k+1 smallest
+	// ranks of the union are each among their own partition's k+1 smallest,
+	// so gathering the short cached lists reproduces the monolithic
+	// reduction's thresholds exactly in O(shards·k) instead of O(retained).
+	var insts []instThresholds
+	threshChanged := false
+	if ranksStable {
+		insts = e.insts
+		e.snapCtr.threshSkips.Add(1)
+	} else {
+		insts = make([]instThresholds, r)
+		for i := 0; i < r; i++ {
+			ranks = ranks[:0]
+			for _, p := range e.parts {
+				ranks = append(ranks, p.ranks[i]...)
+			}
+			insts[i] = newInstThresholds(sampling.KSmallest(ranks, k+1), k)
+		}
+		threshChanged = !slices.Equal(insts, e.insts)
+		if threshChanged && e.insts != nil {
+			e.snapCtr.threshRefreshes.Add(1)
+		}
 	}
 
 	// Re-reduce stale partitions in ascending shard order, so epoch
@@ -188,6 +230,12 @@ func (e *Engine) rebuildLocked() SnapshotView {
 	e.snapCtr.rebuilds.Add(1)
 	e.publish(&snapshotCacheEntry{version: version, built: at, view: view})
 	return view
+}
+
+// rankCachesEqual reports whether two per-instance rank caches hold
+// identical values (ranks are finite positives, so == is exact).
+func rankCachesEqual(a, b [][]float64) bool {
+	return slices.EqualFunc(a, b, slices.Equal)
 }
 
 // reducePartition re-reduces one partition into fresh outcome arenas,

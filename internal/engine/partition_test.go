@@ -73,7 +73,20 @@ func TestIncrementalSingleKeyMutations(t *testing.T) {
 	requireMatchesMatrix(t, e, w, k, hash)
 
 	for round := 0; round < rounds; round++ {
-		if round%10 == 9 {
+		if round%10 == 4 {
+			// Registry-only mutation: a fresh key with a weight so small its
+			// rank cannot enter any bottom-(k+1) heap. The mask bit still
+			// flips (snapshot-visible), but no retained rank moves, so the
+			// rebuild must take the threshold-stable skip.
+			for i := range w {
+				w[i] = append(w[i], 0)
+			}
+			j := len(w[0]) - 1
+			w[0][j] = 1e-9
+			if err := e.Ingest(0, uint64(j), w[0][j]); err != nil {
+				t.Fatal(err)
+			}
+		} else if round%10 == 9 {
 			// Grow the key space: a fresh column makes exactly one shard's
 			// key set change, so the merge plan must be rebuilt.
 			for i := range w {
@@ -102,6 +115,60 @@ func TestIncrementalSingleKeyMutations(t *testing.T) {
 	}
 	if st.Snapshot.PlanRebuilds < 2 {
 		t.Errorf("PlanRebuilds = %d, want ≥ 2 (new keys appeared)", st.Snapshot.PlanRebuilds)
+	}
+	if st.Snapshot.ThresholdSkips < uint64(rounds/10) {
+		t.Errorf("ThresholdSkips = %d, want ≥ %d (registry-only rounds)", st.Snapshot.ThresholdSkips, rounds/10)
+	}
+}
+
+// TestThresholdStableSkip pins the skip accounting deterministically: with
+// every bottom-(k+1) heap full of weight-~1 keys, a new key at weight 1e-9
+// (rank ≥ 1e9·u, far above every boundary) is a registry-only mutation —
+// the rebuild touches exactly one partition, skips the global threshold
+// re-gather, and stays bit-identical to the batch reduction.
+func TestThresholdStableSkip(t *testing.T) {
+	const (
+		n      = 256
+		k      = 4
+		shards = 4
+	)
+	hash := sampling.NewSeedHash(21)
+	w := [][]float64{make([]float64, n), make([]float64, n)}
+	rng := rand.New(rand.NewSource(3))
+	for i := range w {
+		for j := range w[i] {
+			w[i][j] = 1 + rng.Float64()
+		}
+	}
+	e := rebuildEngine(t, w, k, shards, hash)
+	requireMatchesMatrix(t, e, w, k, hash)
+	st0 := e.Stats().Snapshot
+
+	for i := range w {
+		w[i] = append(w[i], 0)
+	}
+	j := len(w[0]) - 1
+	w[0][j] = 1e-9
+	if err := e.Ingest(0, uint64(j), w[0][j]); err != nil {
+		t.Fatal(err)
+	}
+	requireMatchesMatrix(t, e, w, k, hash)
+	st1 := e.Stats().Snapshot
+
+	if got := st1.Rebuilds - st0.Rebuilds; got != 1 {
+		t.Fatalf("Rebuilds advanced by %d, want 1", got)
+	}
+	if got := st1.ThresholdSkips - st0.ThresholdSkips; got != 1 {
+		t.Errorf("ThresholdSkips advanced by %d, want 1", got)
+	}
+	if got := st1.ThresholdRefreshes - st0.ThresholdRefreshes; got != 0 {
+		t.Errorf("ThresholdRefreshes advanced by %d, want 0", got)
+	}
+	if got := st1.PartitionsRebuilt - st0.PartitionsRebuilt; got != 1 {
+		t.Errorf("PartitionsRebuilt advanced by %d, want 1 (single dirty shard)", got)
+	}
+	if got := st1.PartitionsReused - st0.PartitionsReused; got != shards-1 {
+		t.Errorf("PartitionsReused advanced by %d, want %d", got, shards-1)
 	}
 }
 

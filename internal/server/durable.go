@@ -129,6 +129,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (int, err
 	counter("monest_snapshot_partitions_rebuilt_total", "Per-shard partitions re-reduced during rebuilds.", float64(st.Snapshot.PartitionsRebuilt))
 	counter("monest_snapshot_partitions_reused_total", "Per-shard partitions reused verbatim during rebuilds.", float64(st.Snapshot.PartitionsReused))
 	counter("monest_snapshot_threshold_refreshes_total", "Rebuilds where the global thresholds moved (all partitions re-reduced).", float64(st.Snapshot.ThresholdRefreshes))
+	counter("monest_snapshot_threshold_skips_total", "Rebuilds that skipped the global threshold re-gather (per-partition k+1 smallest ranks unchanged).", float64(st.Snapshot.ThresholdSkips))
 	counter("monest_snapshot_plan_rebuilds_total", "Merge-plan rebuilds (key set changed).", float64(st.Snapshot.PlanRebuilds))
 
 	wire := s.wire.view()
@@ -140,6 +141,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (int, err
 	counter("monest_subscribe_coalesced_events_total", "Version-change wakeups absorbed by the debounce window.", float64(wire.CoalescedEvents))
 	counter("monest_subscribe_dropped_events_total", "Events dropped because a slow consumer's buffer was full.", float64(wire.DroppedEvents))
 	counter("monest_subscribe_heartbeats_total", "SSE keepalive comments written.", float64(wire.Heartbeats))
+	counter("monest_subscribe_resumes_total", "Subscriptions that resumed from a Last-Event-ID version.", float64(wire.Resumes))
 
 	b = fmt.Appendf(b, "# HELP monest_shard_mutations_total Snapshot-visible mutations per shard.\n# TYPE monest_shard_mutations_total counter\n")
 	for i, sh := range st.PerShard {

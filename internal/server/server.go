@@ -18,6 +18,12 @@
 //	POST /v1/checkpoint       persist a sketch checkpoint, truncate the WAL
 //	GET  /v1/export           portable binary sketch artifact (octet-stream)
 //	POST /v1/import           merge an exported artifact into the engine
+//	GET  /v1/sketch           the same binary artifact with ETag = engine
+//	                          version; If-None-Match short-circuits to 304
+//	                          (the cluster scatter-gather fetch, sketch.go)
+//	POST /v1/merge            fold a binary artifact into the engine
+//	                          without checkpointing (the cluster sketch-
+//	                          exchange ingress, sketch.go)
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness probe
 //
@@ -91,6 +97,10 @@ type Server struct {
 	snaps    SnapshotSource
 	memo     atomic.Pointer[resultMemo]
 	partials *partialEstimates
+	// ingest is where /v1/ingest and /v1/stream updates land — the local
+	// engine by default, a cluster coordinator's routed scatter when
+	// Config.Ingest overrides it.
+	ingest Ingestor
 	// persist, when set, backs /v1/checkpoint and makes /v1/import
 	// durable (see durable.go).
 	persist *store.Persistence
@@ -120,6 +130,10 @@ type Config struct {
 	// every read reflects all completed ingests. Ignored when Snapshots
 	// is set.
 	SnapshotMaxStale time.Duration
+	// Ingest overrides where /v1/ingest and /v1/stream updates land; nil
+	// means the engine itself. A cluster coordinator supplies its routed
+	// scatter here so write traffic forwards to the owning nodes.
+	Ingest Ingestor
 	// Persist, when set, is the engine's attached persistence layer:
 	// POST /v1/checkpoint cuts through it, and /v1/import checkpoints
 	// after merging. Nil leaves the engine in-memory only; /v1/checkpoint
@@ -172,6 +186,36 @@ func errCode(status int) string {
 	}
 }
 
+// Ingestor receives the update batches /v1/ingest and /v1/stream decode.
+// *engine.Engine satisfies it natively; a cluster coordinator satisfies
+// it by scatter-forwarding each batch to the ring-owning nodes.
+type Ingestor interface {
+	IngestBatch([]engine.Update) error
+}
+
+// acquireStatus maps a SnapshotSource failure to an HTTP status: errors
+// advertising Unavailable() (a cluster node down, degraded mode) are 503
+// so clients and orchestrators can tell "backend gone" from "bad query";
+// everything else is a 500.
+func acquireStatus(err error) int {
+	var u interface{ Unavailable() bool }
+	if errors.As(err, &u) && u.Unavailable() {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// ingestStatus maps an Ingestor failure: an unavailable backend (routed
+// cluster ingest whose owner node is down) is 503; anything else is the
+// request's fault (bad instance index, non-finite weight) — 400.
+func ingestStatus(err error) int {
+	var u interface{ Unavailable() bool }
+	if errors.As(err, &u) && u.Unavailable() {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
 // New returns a server wired to the engine with the default registry.
 func New(eng *engine.Engine) *Server { return NewWith(eng, Config{}) }
 
@@ -198,6 +242,9 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 	if cfg.MaxSubscribers == 0 {
 		cfg.MaxSubscribers = 4096
 	}
+	if cfg.Ingest == nil {
+		cfg.Ingest = eng
+	}
 	s := &Server{
 		eng:            eng,
 		reg:            cfg.Registry,
@@ -207,6 +254,7 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 		metrics:        make(map[string]*endpointMetrics),
 		snaps:          cfg.Snapshots,
 		partials:       newPartialEstimates(),
+		ingest:         cfg.Ingest,
 		persist:        cfg.Persist,
 		drainCh:        make(chan struct{}),
 		heartbeat:      cfg.SubscribeHeartbeat,
@@ -222,7 +270,9 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 	s.route("GET /v1/stats", s.handleStats)
 	s.route("POST /v1/checkpoint", s.handleCheckpoint)
 	s.route("POST /v1/import", s.handleImport)
+	s.route("POST /v1/merge", s.handleMerge)
 	s.routeRaw("GET /v1/export", s.handleExport)
+	s.routeRaw("GET /v1/sketch", s.handleSketch)
 	s.routeRaw("GET /metrics", s.handleMetrics)
 	s.route("GET /healthz", s.handleHealthz)
 	return s
@@ -392,8 +442,8 @@ func (s *Server) handleIngest(r *http.Request) (int, any, error) {
 			ingested++
 		}
 	}
-	if err := s.eng.IngestBatch(batch); err != nil {
-		return http.StatusBadRequest, nil, err
+	if err := s.ingest.IngestBatch(batch); err != nil {
+		return ingestStatus(err), nil, err
 	}
 	// ingested counts folded-in observations, matching the engine's
 	// Ingests stat; zero weights are accepted no-ops reported as skipped.
@@ -489,7 +539,10 @@ func (s *Server) handleEstimateSum(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusBadRequest, nil, err
 	}
-	view := s.snaps.AcquireSnapshot()
+	view, err := s.snaps.AcquireSnapshot()
+	if err != nil {
+		return acquireStatus(err), nil, err
+	}
 	res := s.evalMemoized(plan, view, s.memoFor(view.Version))
 	if res.Error != nil {
 		return res.status, nil, errors.New(res.Error.Message)
@@ -515,7 +568,10 @@ func (s *Server) handleEstimateJaccard(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusBadRequest, nil, err
 	}
-	view := s.snaps.AcquireSnapshot()
+	view, err := s.snaps.AcquireSnapshot()
+	if err != nil {
+		return acquireStatus(err), nil, err
+	}
 	res := s.evalMemoized(plan, view, s.memoFor(view.Version))
 	if res.Error != nil {
 		return res.status, nil, errors.New(res.Error.Message)

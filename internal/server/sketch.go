@@ -1,0 +1,110 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// This file is the cluster sketch-exchange face of the API — the binary
+// scatter-gather wire a coordinator speaks to its nodes:
+//
+//	GET  /v1/sketch  the engine state as the same store.EncodeState
+//	                 artifact /v1/export serves, plus an ETag carrying the
+//	                 engine mutation version. If-None-Match with the
+//	                 current version answers 304 without cutting or
+//	                 encoding anything — the per-node version-vector cache
+//	                 that makes steady-state coordinator queries transfer
+//	                 zero state bytes.
+//	POST /v1/merge   fold an artifact into the live engine (lossless
+//	                 coordinated-sketch merge, exactly /v1/import's
+//	                 semantics) WITHOUT checkpointing: peers exchanging
+//	                 transient reduced states must not force a disk write
+//	                 per gather. Durability stays the receiver's own
+//	                 checkpoint policy.
+//
+// One-codec discipline: both endpoints move store.EncodeState bytes, so
+// wire == disk == export — corruption checking (CRC), seed fingerprints
+// and bounds validation all come from the single decoder, and a hostile
+// peer's bytes fail closed with a structured 400 before the engine is
+// touched (DecodeState never partially applies; MergeState validates
+// before mutating).
+
+// etagFor renders the engine mutation version as a strong ETag.
+func etagFor(version uint64) string {
+	return `"` + strconv.FormatUint(version, 10) + `"`
+}
+
+// matchETag reports whether an If-None-Match header names the version.
+// Weak validators (W/ prefix) match too: the payload is a deterministic
+// function of the version, so weak and strong agree here.
+func matchETag(header string, version uint64) bool {
+	want := strconv.FormatUint(version, 10)
+	for _, part := range strings.Split(header, ",") {
+		tag := strings.TrimSpace(part)
+		tag = strings.TrimPrefix(tag, "W/")
+		if tag == `"`+want+`"` || tag == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// handleSketch serves the binary state artifact with version-vector
+// caching: ETag is the engine mutation version, and a matching
+// If-None-Match answers 304 from one lock-free atomic load — no cut, no
+// encoding, no body.
+func (s *Server) handleSketch(w http.ResponseWriter, r *http.Request) (int, error) {
+	if err := checkParams(r.URL.Query()); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if v := s.eng.Version(); matchETag(inm, v) {
+			w.Header().Set("ETag", etagFor(v))
+			w.WriteHeader(http.StatusNotModified)
+			return http.StatusNotModified, nil
+		}
+	}
+	// The cut's own version (not a separate Version() call) labels the
+	// bytes: a write racing this request must not let a pre-write artifact
+	// carry a post-write ETag, or the caller's cache would pin stale state.
+	st := s.eng.DumpState()
+	data := store.EncodeState(st)
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("ETag", etagFor(st.Version))
+	h.Set("Content-Length", fmt.Sprint(len(data)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data) // header is out; a client hang-up is not our error
+	return http.StatusOK, nil
+}
+
+// handleMerge folds a peer's binary artifact into the engine. Unlike
+// /v1/import it never checkpoints — the cluster gather path calls this at
+// query frequency. Responds with the post-merge engine version so the
+// sender can confirm visibility.
+func (s *Server) handleMerge(r *http.Request) (int, any, error) {
+	if err := checkParams(r.URL.Query()); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxImportBody))
+	if err != nil {
+		return http.StatusBadRequest, nil, fmt.Errorf("reading artifact: %w", err)
+	}
+	st, err := store.DecodeState(data)
+	if err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	if err := s.eng.MergeState(st); err != nil {
+		return http.StatusBadRequest, nil, err
+	}
+	return http.StatusOK, map[string]any{
+		"merged_keys":    len(st.Keys),
+		"merged_ingests": st.Ingests,
+		"version":        s.eng.Version(),
+	}, nil
+}

@@ -19,9 +19,12 @@ import (
 // SnapshotSource yields the snapshot view a request is answered from. All
 // endpoints of a Server share one source; the view's Version keys the
 // server's per-version result memo, so a source must return versions that
-// change whenever the returned view's contents do.
+// change whenever the returned view's contents do. A source backed by
+// remote state (a cluster coordinator scatter-gathering node sketches)
+// may fail; an error implementing `Unavailable() bool` reporting true
+// maps to 503, anything else to 500 (see acquireStatus).
 type SnapshotSource interface {
-	AcquireSnapshot() engine.SnapshotView
+	AcquireSnapshot() (engine.SnapshotView, error)
 }
 
 // cachedSource is the default source: the engine's lock-free versioned
@@ -32,8 +35,8 @@ type cachedSource struct {
 	maxStale time.Duration
 }
 
-func (c cachedSource) AcquireSnapshot() engine.SnapshotView {
-	return c.eng.CachedView(c.maxStale)
+func (c cachedSource) AcquireSnapshot() (engine.SnapshotView, error) {
+	return c.eng.CachedView(c.maxStale), nil
 }
 
 // FreshSource returns a SnapshotSource that performs an exact cut on
@@ -46,8 +49,8 @@ func FreshSource(eng *engine.Engine) SnapshotSource { return freshSource{eng} }
 
 type freshSource struct{ eng *engine.Engine }
 
-func (f freshSource) AcquireSnapshot() engine.SnapshotView {
-	return f.eng.FreshView()
+func (f freshSource) AcquireSnapshot() (engine.SnapshotView, error) {
+	return f.eng.FreshView(), nil
 }
 
 // maxMemoEntries caps one version's memo so an adversarial query stream

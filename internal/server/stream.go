@@ -43,6 +43,7 @@ type wireStats struct {
 	coalesced  atomic.Uint64
 	dropped    atomic.Uint64
 	heartbeats atomic.Uint64
+	resumes    atomic.Uint64
 }
 
 // WireStats is the JSON view of the wire counters in /v1/stats.
@@ -67,6 +68,9 @@ type WireStats struct {
 	DroppedEvents uint64 `json:"dropped_events"`
 	// Heartbeats counts SSE keepalive comments written.
 	Heartbeats uint64 `json:"heartbeats"`
+	// Resumes counts subscriptions that arrived with a valid
+	// Last-Event-ID header (SSE reconnects resuming from a known version).
+	Resumes uint64 `json:"resumes"`
 }
 
 func (w *wireStats) view() WireStats {
@@ -79,6 +83,7 @@ func (w *wireStats) view() WireStats {
 		CoalescedEvents:   w.coalesced.Load(),
 		DroppedEvents:     w.dropped.Load(),
 		Heartbeats:        w.heartbeats.Load(),
+		Resumes:           w.resumes.Load(),
 	}
 }
 
@@ -116,8 +121,8 @@ func (s *Server) handleStream(r *http.Request) (int, any, error) {
 			return http.StatusBadRequest, nil,
 				fmt.Errorf("frame %d: %w (%d updates from %d frames already applied)", frames, err, updates, frames)
 		}
-		if err := s.eng.IngestBatch(batch); err != nil {
-			return http.StatusBadRequest, nil,
+		if err := s.ingest.IngestBatch(batch); err != nil {
+			return ingestStatus(err), nil,
 				fmt.Errorf("frame %d: %w (%d updates from %d frames already applied)", frames, err, updates, frames)
 		}
 		frames++

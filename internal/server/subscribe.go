@@ -234,9 +234,15 @@ func (b *broadcaster) debounceWait(sig <-chan struct{}) bool {
 
 // round evaluates one push round: one shared snapshot view, one
 // evaluation and one encoded payload per distinct query set, one deliver
-// per subscriber not already at the round's version.
+// per subscriber not already at the round's version. A source failure
+// (cluster degraded) skips the round — the next mutation signal retries,
+// and subscribers keep their connections rather than seeing a push gap
+// dressed up as data.
 func (b *broadcaster) round() {
-	view := b.s.snaps.AcquireSnapshot()
+	view, err := b.s.snaps.AcquireSnapshot()
+	if err != nil {
+		return
+	}
 	memo := b.s.memoFor(view.Version)
 	encoded := make(map[string][]byte)
 	for _, sub := range b.snapshotSubs() {
@@ -364,6 +370,19 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) (int, e
 		events:   make(chan pushEvent, subscriberBuffer),
 	}
 	sub.lastVersion.Store(subVersionNone)
+	// SSE resume: a reconnecting client replays the last `id:` line it saw
+	// as Last-Event-ID. Seeding lastVersion with it makes the initial push
+	// conditional — a client behind the current version gets the current
+	// estimate immediately (advance succeeds), while a client already at
+	// or past it skips the redundant re-send and waits for the next
+	// mutation. An unparsable header is ignored (fresh-subscriber
+	// semantics), never a 400: resume is an optimization, not a contract.
+	if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+		if v, err := strconv.ParseUint(raw, 10, 64); err == nil && v != subVersionNone {
+			sub.lastVersion.Store(v)
+			s.wire.resumes.Add(1)
+		}
+	}
 	if err := s.broadcast.register(sub, s.maxSubscribers); err != nil {
 		return http.StatusServiceUnavailable, err
 	}
@@ -374,7 +393,10 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) (int, e
 	// Registration precedes the initial push, so a mutation landing in
 	// between reaches this subscriber through the broadcaster; advance()
 	// keeps the two paths from reordering versions on the wire.
-	view := s.snaps.AcquireSnapshot()
+	view, err := s.snaps.AcquireSnapshot()
+	if err != nil {
+		return acquireStatus(err), err // deferred unregister cleans up
+	}
 	if sub.advance(view.Version) {
 		sub.deliver(pushEvent{
 			version: view.Version,

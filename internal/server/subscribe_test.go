@@ -34,9 +34,12 @@ func subTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *engine
 }
 
 // sseConn is a minimal SSE reader over one /v1/subscribe response.
+// lastID tracks the most recent `id:` line — what a real SSE client
+// would replay as Last-Event-ID on reconnect.
 type sseConn struct {
-	resp *http.Response
-	sc   *bufio.Scanner
+	resp   *http.Response
+	sc     *bufio.Scanner
+	lastID string
 }
 
 func subscribeSSE(t *testing.T, ctx context.Context, url, rawQuery string) *sseConn {
@@ -77,6 +80,8 @@ func (c *sseConn) next(t *testing.T) (string, []byte) {
 		case line[0] == ':':
 		case bytes.HasPrefix(line, []byte("event: ")):
 			typ = string(line[len("event: "):])
+		case bytes.HasPrefix(line, []byte("id: ")):
+			c.lastID = string(line[len("id: "):])
 		case bytes.HasPrefix(line, []byte("data: ")):
 			data = append(data, line[len("data: "):]...)
 		}
@@ -419,4 +424,95 @@ func TestSubscribeConcurrentChurn(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// resumeSSE is subscribeSSE with a Last-Event-ID header — the SSE
+// reconnect protocol (the browser EventSource replays the last id: line
+// it saw).
+func resumeSSE(t *testing.T, ctx context.Context, url, rawQuery, lastEventID string) *sseConn {
+	t.Helper()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/subscribe?"+rawQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", lastEventID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("resume subscribe status %d: %s", resp.StatusCode, body)
+	}
+	c := &sseConn{resp: resp, sc: bufio.NewScanner(resp.Body)}
+	t.Cleanup(func() { resp.Body.Close() })
+	return c
+}
+
+// TestSubscribeLastEventIDResume pins SSE reconnect semantics: a client
+// replaying an id BEHIND the engine gets the current estimate pushed
+// immediately; a client already AT the engine's version gets nothing
+// until the next real mutation (no redundant re-send of state it
+// acknowledged); and a garbage header degrades to fresh-subscriber
+// behavior, never an error.
+func TestSubscribeLastEventIDResume(t *testing.T) {
+	_, ts, eng := subTestServer(t, Config{})
+	ingestJSON(t, ts.URL, `{"instance":0,"key":"alpha","weight":2},{"instance":1,"key":"alpha","weight":1}`)
+
+	// First connection: note the id the server labels the current state
+	// with, then drop the connection (scoped context).
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	c1 := subscribeSSE(t, ctx1, ts.URL, "func=max&estimator=lstar")
+	first := c1.nextPush(t)
+	firstID := c1.lastID
+	if firstID == "" {
+		t.Fatal("initial push carried no id: line")
+	}
+	cancel1()
+
+	// The cluster advances while the client is gone.
+	ingestJSON(t, ts.URL, `{"instance":0,"key":"beta","weight":5}`)
+	v2 := eng.Version()
+	if v2 <= first.Version {
+		t.Fatalf("engine version %d did not advance past %d", v2, first.Version)
+	}
+
+	// Behind-client resume: immediate catch-up push at the current
+	// version.
+	c2 := resumeSSE(t, context.Background(), ts.URL, "func=max&estimator=lstar", firstID)
+	caught := c2.nextPush(t)
+	if caught.Version != v2 {
+		t.Fatalf("resume catch-up version %d, want %d", caught.Version, v2)
+	}
+	if *caught.Results[0].Estimate <= *first.Results[0].Estimate {
+		t.Fatalf("resumed estimate did not grow: %g -> %g",
+			*first.Results[0].Estimate, *caught.Results[0].Estimate)
+	}
+
+	// Caught-up client: no initial re-send; the first event it ever sees
+	// is the push for the NEXT mutation.
+	c3 := resumeSSE(t, context.Background(), ts.URL, "func=max&estimator=lstar", c2.lastID)
+	ingestJSON(t, ts.URL, `{"instance":1,"key":"gamma","weight":7}`)
+	next := c3.nextPush(t)
+	if next.Version <= v2 {
+		t.Fatalf("caught-up resume got version %d, want > %d (a redundant initial re-send)", next.Version, v2)
+	}
+
+	// Unparsable header: fresh-subscriber semantics, current state pushed.
+	c4 := resumeSSE(t, context.Background(), ts.URL, "func=max&estimator=lstar", "not-a-version")
+	fresh := c4.nextPush(t)
+	if fresh.Version != eng.Version() {
+		t.Fatalf("garbage Last-Event-ID: push version %d, want current %d", fresh.Version, eng.Version())
+	}
+
+	// The wire counters saw exactly the three parseable resume headers.
+	_, stats := getJSON(t, ts.URL+"/v1/stats")
+	wire, ok := stats["wire"].(map[string]any)
+	if !ok {
+		t.Fatalf("/v1/stats has no wire section: %v", stats)
+	}
+	if got := wire["resumes"]; got != float64(2) {
+		t.Fatalf("wire.resumes = %v, want 2", got)
+	}
 }
