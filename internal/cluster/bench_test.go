@@ -119,13 +119,13 @@ func BenchmarkScatterGather(b *testing.B) {
 // the version-vector cache at work.
 func BenchmarkClusterQuery(b *testing.B) {
 	c := newBenchCluster(b, 3, 64<<10)
-	if _, err := c.coord.AcquireSnapshot(); err != nil {
+	if _, err := c.coord.AcquireSnapshot(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	before := c.coord.Stats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.coord.AcquireSnapshot(); err != nil {
+		if _, err := c.coord.AcquireSnapshot(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

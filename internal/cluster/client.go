@@ -58,11 +58,23 @@ type nodeClient struct {
 	hc      *http.Client
 	timeout time.Duration
 	retries int
-	// version is the node's engine version at the last successful fetch
-	// (the /v1/sketch ETag) — the coordinator's version-vector entry for
-	// this node. have flags that version holds a real fetch.
+	// version is the node's engine version at the last fetch whose state
+	// was MERGED (the /v1/sketch ETag) — the coordinator's version-vector
+	// entry for this node. have flags that version holds a real merge.
+	// Only Coordinator.Sync writes these, via commit, and only after
+	// MergeState succeeded: a fetch whose state never reached the merge
+	// engine must not advance the vector, or the node's next conditional
+	// fetch answers 304 and the unmerged updates silently vanish from the
+	// merged view.
 	version atomic.Uint64
 	have    atomic.Bool
+}
+
+// commit records that the node's state at version v is folded into the
+// merge engine — the node's vector entry for future conditional fetches.
+func (n *nodeClient) commit(v uint64) {
+	n.version.Store(v)
+	n.have.Store(true)
 }
 
 // retrying runs op up to 1+retries times, retrying only failures that
@@ -92,8 +104,11 @@ func (n *nodeClient) retrying(ctx context.Context, op func(context.Context) erro
 // fetchSketch GETs the node's binary state. When the coordinator already
 // holds the node's current version, the conditional request answers 304
 // and a nil state comes back without a byte of state on the wire; a 200
-// decodes the artifact and advances the version vector entry to the
-// response ETag. size reports the state bytes transferred.
+// decodes and returns the artifact WITHOUT touching the version vector —
+// the caller commits the entry (commit) only after the state is actually
+// merged, so a sync that fails on another node cannot strand this node's
+// updates behind a cached version. size reports the state bytes
+// transferred.
 func (n *nodeClient) fetchSketch(ctx context.Context) (st *engine.State, size int, err error) {
 	err = n.retrying(ctx, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.addr+"/v1/sketch", nil)
@@ -127,10 +142,8 @@ func (n *nodeClient) fetchSketch(ctx context.Context) (st *engine.State, size in
 			}
 			st, size = decoded, len(data)
 			// The artifact's own cut version IS the ETag (sketch.go labels
-			// the bytes, not the moment); trusting it keeps the vector
-			// entry and the merged contents atomic with each other.
-			n.version.Store(decoded.Version)
-			n.have.Store(true)
+			// the bytes, not the moment); the caller commits it alongside
+			// the merge, keeping vector entry and merged contents atomic.
 			return nil
 		default:
 			return nodeHTTPError(n.addr, resp)
@@ -143,8 +156,13 @@ func (n *nodeClient) fetchSketch(ctx context.Context) (st *engine.State, size in
 // binary /v1/stream request, SYNCHRONOUSLY: the 200 arrives only after
 // the node applied every frame, so a coordinator 200 on /v1/ingest means
 // the owner nodes have the updates — read-your-writes through the
-// coordinator holds. Safe to retry: sketch folds are idempotent under
-// max-weight union.
+// coordinator holds. Correctness-safe to retry: sketch folds are
+// idempotent under max-weight union, so estimates never double-count.
+// Accounting caveat: a retry after a transport error that raced the
+// node's apply (e.g. the response was lost) re-applies the frames, so
+// the node-side Ingests and wire stream counters can overcount such
+// batches — /v1/stats throughput numbers are approximate under routed
+// retries, never the estimates.
 func (n *nodeClient) sendBatch(ctx context.Context, batch []engine.Update) error {
 	return n.retrying(ctx, func(ctx context.Context) error {
 		buf := store.AppendStreamHeader(nil)

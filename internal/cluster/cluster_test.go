@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"net"
@@ -219,7 +220,7 @@ func TestClusterMatchesUnionEngine(t *testing.T) {
 	}
 	feed := func(batch []engine.Update) {
 		t.Helper()
-		if err := coord.IngestBatch(batch); err != nil {
+		if err := coord.IngestBatch(context.Background(), batch); err != nil {
 			t.Fatalf("routed ingest: %v", err)
 		}
 		if err := union.IngestBatch(batch); err != nil {
@@ -228,7 +229,7 @@ func TestClusterMatchesUnionEngine(t *testing.T) {
 	}
 	check := func(label string) {
 		t.Helper()
-		view, err := coord.AcquireSnapshot()
+		view, err := coord.AcquireSnapshot(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
 		}
@@ -255,12 +256,12 @@ func TestClusterMatchesUnionEngine(t *testing.T) {
 
 	// Version-vector caching: re-querying with no node writes re-fetches
 	// NOTHING — no 200s, no state bytes, only 304s.
-	if _, err := coord.AcquireSnapshot(); err != nil {
+	if _, err := coord.AcquireSnapshot(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	before := coord.Stats()
 	for i := 0; i < 2; i++ {
-		if _, err := coord.AcquireSnapshot(); err != nil {
+		if _, err := coord.AcquireSnapshot(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -284,7 +285,7 @@ func TestClusterMatchesUnionEngine(t *testing.T) {
 	// routing and the merged snapshot is again bit-identical.
 	for i := range nodes {
 		nodes[i].stop()
-		if _, err := coord.AcquireSnapshot(); err == nil {
+		if _, err := coord.AcquireSnapshot(context.Background()); err == nil {
 			t.Fatalf("query succeeded with node %d down", i)
 		} else {
 			var ne *cluster.NodeError
@@ -299,7 +300,7 @@ func TestClusterMatchesUnionEngine(t *testing.T) {
 
 	// Final full-trio sweep: the same bit-identity, now including
 	// ustar's quadrature path, over the post-restart state.
-	view, err := coord.AcquireSnapshot()
+	view, err := coord.AcquireSnapshot(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +342,7 @@ func TestClusterDegradedWrites(t *testing.T) {
 	keyA, keyB := ownedBy(0), ownedBy(1)
 
 	b.stop()
-	if err := coord.IngestBatch([]engine.Update{{Key: keyB, Weight: 1}}); err == nil {
+	if err := coord.IngestBatch(context.Background(), []engine.Update{{Key: keyB, Weight: 1}}); err == nil {
 		t.Fatal("ingest for dead node's key succeeded")
 	} else {
 		var ne *cluster.NodeError
@@ -349,11 +350,82 @@ func TestClusterDegradedWrites(t *testing.T) {
 			t.Fatalf("dead-owner ingest error %v is not an unavailable NodeError", err)
 		}
 	}
-	if err := coord.IngestBatch([]engine.Update{{Key: keyA, Weight: 2}}); err != nil {
+	if err := coord.IngestBatch(context.Background(), []engine.Update{{Key: keyA, Weight: 2}}); err != nil {
 		t.Fatalf("live-owner ingest failed: %v", err)
 	}
 	if got := len(a.eng.DumpState().Keys); got != 1 {
 		t.Fatalf("live node holds %d keys, want 1", got)
+	}
+}
+
+// TestSyncPartialFailureKeepsSuccessfulFetch pins the version-vector
+// commit discipline behind strict reads: a vector entry advances only
+// when the fetched state is actually MERGED. In a degraded round (one
+// node down) the live node's fetch still succeeds; if its version were
+// cached at decode time while the round bailed before merging it, the
+// node would answer 304 on every later sync and its updates would be
+// silently missing from the merged view — exactly the under-counting
+// strict reads exist to prevent. Both kill orders run because Sync folds
+// results in node order, so only the dead-node-first order can strand a
+// later node's fetch.
+func TestSyncPartialFailureKeepsSuccessfulFetch(t *testing.T) {
+	hash := sampling.NewSeedHash(21)
+	cfg := engine.Config{Instances: 1, K: 64, Shards: 2, Hash: hash}
+	base := t.TempDir()
+	nodes := []*node{
+		startNode(t, filepath.Join(base, "a"), "127.0.0.1:0", cfg),
+		startNode(t, filepath.Join(base, "b"), "127.0.0.1:0", cfg),
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.srv.Close()
+		}
+	}()
+
+	coord, err := cluster.New(cluster.Config{
+		Nodes:   []string{nodes[0].url(), nodes[1].url()},
+		Engine:  cfg,
+		Timeout: 2 * time.Second,
+		Retries: -1, // fail fast: the dead node should not stall the round
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if _, err := coord.AcquireSnapshot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range nodes {
+		live := 1 - i
+		nodes[i].stop()
+		// The live node advances while its peer is down (written directly:
+		// routing is not under test, merge completeness is).
+		key := uint64(1000 + i)
+		if err := nodes[live].eng.Ingest(0, key, 42); err != nil {
+			t.Fatal(err)
+		}
+		// Strict reads: the degraded sync fails — but the live node's
+		// fetched state must either merge now or stay fetchable later.
+		if _, err := coord.AcquireSnapshot(context.Background()); err == nil {
+			t.Fatalf("sync succeeded with node %d down", i)
+		}
+		nodes[i] = nodes[i].restart()
+		view, err := coord.AcquireSnapshot(context.Background())
+		if err != nil {
+			t.Fatalf("sync after restart of node %d: %v", i, err)
+		}
+		found := false
+		for _, k := range view.Keys {
+			if k == key {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("key %d (written to live node %d during node %d's outage) missing from merged view: "+
+				"the degraded round cached the live node's version without merging its state", key, live, i)
+		}
 	}
 }
 
@@ -377,7 +449,7 @@ func TestClusterSeedMismatch(t *testing.T) {
 	}
 	defer coord.Close()
 
-	_, err = coord.AcquireSnapshot()
+	_, err = coord.AcquireSnapshot(context.Background())
 	if err == nil {
 		t.Fatal("seed-mismatched node merged cleanly")
 	}

@@ -42,6 +42,10 @@ type Coordinator struct {
 
 	stats coordStats
 
+	// stopCtx cancels in-flight node traffic on Close (the poll loop's
+	// sync runs under it); stopped parks the poll loop itself.
+	stopCtx  context.Context
+	stop     context.CancelFunc
 	stopOnce sync.Once
 	stopped  chan struct{}
 }
@@ -122,10 +126,13 @@ func New(cfg Config) (*Coordinator, error) {
 	if hc == nil {
 		hc = &http.Client{}
 	}
+	stopCtx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
 		ring:    ring,
 		merge:   merge,
 		cfg:     cfg,
+		stopCtx: stopCtx,
+		stop:    stop,
 		stopped: make(chan struct{}),
 	}
 	for _, addr := range ring.Nodes() {
@@ -161,9 +168,13 @@ func (c *Coordinator) Stats() Stats {
 	}
 }
 
-// Close stops the background poll loop. Idempotent.
+// Close stops the background poll loop and cancels its in-flight node
+// traffic. Idempotent.
 func (c *Coordinator) Close() {
-	c.stopOnce.Do(func() { close(c.stopped) })
+	c.stopOnce.Do(func() {
+		close(c.stopped)
+		c.stop()
+	})
 }
 
 func (c *Coordinator) pollLoop() {
@@ -174,7 +185,7 @@ func (c *Coordinator) pollLoop() {
 		case <-t.C:
 			// A poll failure is not actionable here: reads surface it as
 			// 503 and the next tick retries.
-			_ = c.Sync(context.Background())
+			_ = c.Sync(c.stopCtx)
 		case <-c.stopped:
 			return
 		}
@@ -186,8 +197,13 @@ func (c *Coordinator) pollLoop() {
 // into the merge engine in node order (order only affects mutation
 // accounting — max-union is commutative). Rounds are single-flighted and
 // optionally rate-bounded by SyncMaxStale. Any node failure fails the
-// round with that node's error; state merged before the failure stays
-// (folds are monotone — a later successful round completes the picture).
+// round with the first failing node's error, but only AFTER every
+// successful fetch has been merged and had its vector entry committed:
+// merge-then-commit per node keeps a transient failure elsewhere from
+// caching a version whose state was never folded in (which would turn
+// that node's next fetch into a 304 and silently drop its updates from
+// the merged view). State merged in a failed round stays — folds are
+// monotone, and a later successful round completes the picture.
 func (c *Coordinator) Sync(ctx context.Context) error {
 	c.syncMu.Lock()
 	defer c.syncMu.Unlock()
@@ -210,20 +226,30 @@ func (c *Coordinator) Sync(ctx context.Context) error {
 		}(i, n)
 	}
 	wg.Wait()
+	var firstErr error
 	for i, res := range results {
-		if res.err != nil {
-			return res.err
-		}
-		if res.st == nil {
+		switch {
+		case res.err != nil:
+			if firstErr == nil {
+				firstErr = res.err
+			}
+		case res.st == nil:
 			c.stats.notModified.Add(1)
-			continue
+		default:
+			if err := c.merge.MergeState(res.st); err != nil {
+				if firstErr == nil {
+					firstErr = &NodeError{Addr: c.nodes[i].addr, Status: http.StatusOK,
+						Err: fmt.Errorf("merging sketch: %w", err)}
+				}
+				continue
+			}
+			c.nodes[i].commit(res.st.Version)
+			c.stats.fetches.Add(1)
+			c.stats.stateBytes.Add(uint64(res.size))
 		}
-		if err := c.merge.MergeState(res.st); err != nil {
-			return &NodeError{Addr: c.nodes[i].addr, Status: http.StatusOK,
-				Err: fmt.Errorf("merging sketch: %w", err)}
-		}
-		c.stats.fetches.Add(1)
-		c.stats.stateBytes.Add(uint64(res.size))
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	c.stats.syncs.Add(1)
 	c.lastSync = time.Now()
@@ -235,9 +261,11 @@ func (c *Coordinator) Sync(ctx context.Context) error {
 // is the merge engine's mutation version — it advances exactly when some
 // node's folded-in state changed the merged contents, so the server's
 // per-version memo and the SSE id lines work across the cluster
-// unchanged.
-func (c *Coordinator) AcquireSnapshot() (engine.SnapshotView, error) {
-	if err := c.Sync(context.Background()); err != nil {
+// unchanged. ctx (the serving request's context) cancels in-flight node
+// fetches, so a disconnected client or a draining server does not hold
+// the sync for timeout×(1+retries) per node.
+func (c *Coordinator) AcquireSnapshot(ctx context.Context) (engine.SnapshotView, error) {
+	if err := c.Sync(ctx); err != nil {
 		return engine.SnapshotView{}, err
 	}
 	return c.merge.FreshView(), nil
@@ -249,8 +277,11 @@ func (c *Coordinator) AcquireSnapshot() (engine.SnapshotView, error) {
 // owner applied its share, so a 200 from the coordinator's /v1/ingest or
 // /v1/stream means the cluster has the updates. A failed owner fails the
 // batch (other nodes' shares stay applied — same non-transactional
-// semantics as sequential /v1/ingest batches on one node).
-func (c *Coordinator) IngestBatch(batch []engine.Update) error {
+// semantics as sequential /v1/ingest batches on one node). ctx (the
+// serving request's context) cancels in-flight forwards, so an aborted
+// client request does not pin the coordinator for the full per-node
+// timeout and retry budget.
+func (c *Coordinator) IngestBatch(ctx context.Context, batch []engine.Update) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -268,7 +299,7 @@ func (c *Coordinator) IngestBatch(batch []engine.Update) error {
 		wg.Add(1)
 		go func(i int, part []engine.Update) {
 			defer wg.Done()
-			errs[i] = c.nodes[i].sendBatch(context.Background(), part)
+			errs[i] = c.nodes[i].sendBatch(ctx, part)
 		}(i, part)
 	}
 	wg.Wait()

@@ -337,7 +337,7 @@ func (s *Server) handleQuery(r *http.Request) (int, any, error) {
 	// cache, so a batch against an unchanged engine takes no shard locks
 	// and does no reduction work; repeated queries additionally resolve
 	// from the per-version result memo without re-running estimators.
-	view, err := s.snaps.AcquireSnapshot()
+	view, err := s.snaps.AcquireSnapshot(r.Context())
 	if err != nil {
 		return acquireStatus(err), nil, err
 	}

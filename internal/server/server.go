@@ -58,6 +58,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -106,10 +107,15 @@ type Server struct {
 	persist *store.Persistence
 	// wire counts streaming-ingest and subscription traffic (stream.go);
 	// broadcast owns the /v1/subscribe registry and push loop
-	// (subscribe.go); drainCh gates both on shutdown (Server.Drain).
+	// (subscribe.go); drainCh gates both on shutdown (Server.Drain), and
+	// drainCtx is its context form — the broadcaster's snapshot
+	// acquisitions run under it so a draining server cancels in-flight
+	// cluster scatter-gathers that no request context covers.
 	wire           wireStats
 	broadcast      *broadcaster
 	drainCh        chan struct{}
+	drainCtx       context.Context
+	drainCancel    context.CancelFunc
 	drainOnce      sync.Once
 	heartbeat      time.Duration
 	maxSubscribers int
@@ -187,10 +193,22 @@ func errCode(status int) string {
 }
 
 // Ingestor receives the update batches /v1/ingest and /v1/stream decode.
-// *engine.Engine satisfies it natively; a cluster coordinator satisfies
-// it by scatter-forwarding each batch to the ring-owning nodes.
+// The local engine is adapted by engineIngestor; a cluster coordinator
+// satisfies it by scatter-forwarding each batch to the ring-owning
+// nodes. ctx is the serving request's context: remote-backed ingestors
+// must honor it so an aborted request cancels in-flight forwards; local
+// folds ignore it.
 type Ingestor interface {
-	IngestBatch([]engine.Update) error
+	IngestBatch(ctx context.Context, batch []engine.Update) error
+}
+
+// engineIngestor adapts *engine.Engine to the context-aware Ingestor.
+// Local folds are lock-bounded and never block on the network, so the
+// context is ignored.
+type engineIngestor struct{ eng *engine.Engine }
+
+func (e engineIngestor) IngestBatch(_ context.Context, batch []engine.Update) error {
+	return e.eng.IngestBatch(batch)
 }
 
 // acquireStatus maps a SnapshotSource failure to an HTTP status: errors
@@ -243,8 +261,9 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 		cfg.MaxSubscribers = 4096
 	}
 	if cfg.Ingest == nil {
-		cfg.Ingest = eng
+		cfg.Ingest = engineIngestor{eng}
 	}
+	drainCtx, drainCancel := context.WithCancel(context.Background())
 	s := &Server{
 		eng:            eng,
 		reg:            cfg.Registry,
@@ -257,6 +276,8 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 		ingest:         cfg.Ingest,
 		persist:        cfg.Persist,
 		drainCh:        make(chan struct{}),
+		drainCtx:       drainCtx,
+		drainCancel:    drainCancel,
 		heartbeat:      cfg.SubscribeHeartbeat,
 		maxSubscribers: cfg.MaxSubscribers,
 	}
@@ -442,7 +463,7 @@ func (s *Server) handleIngest(r *http.Request) (int, any, error) {
 			ingested++
 		}
 	}
-	if err := s.ingest.IngestBatch(batch); err != nil {
+	if err := s.ingest.IngestBatch(r.Context(), batch); err != nil {
 		return ingestStatus(err), nil, err
 	}
 	// ingested counts folded-in observations, matching the engine's
@@ -539,7 +560,7 @@ func (s *Server) handleEstimateSum(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusBadRequest, nil, err
 	}
-	view, err := s.snaps.AcquireSnapshot()
+	view, err := s.snaps.AcquireSnapshot(r.Context())
 	if err != nil {
 		return acquireStatus(err), nil, err
 	}
@@ -568,7 +589,7 @@ func (s *Server) handleEstimateJaccard(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusBadRequest, nil, err
 	}
-	view, err := s.snaps.AcquireSnapshot()
+	view, err := s.snaps.AcquireSnapshot(r.Context())
 	if err != nil {
 		return acquireStatus(err), nil, err
 	}

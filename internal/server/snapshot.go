@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -22,9 +23,12 @@ import (
 // change whenever the returned view's contents do. A source backed by
 // remote state (a cluster coordinator scatter-gathering node sketches)
 // may fail; an error implementing `Unavailable() bool` reporting true
-// maps to 503, anything else to 500 (see acquireStatus).
+// maps to 503, anything else to 500 (see acquireStatus). ctx is the
+// serving request's context (or the server's drain context for the push
+// loop): remote-backed sources must honor it so an aborted request or a
+// shutdown cancels in-flight node traffic; local sources ignore it.
 type SnapshotSource interface {
-	AcquireSnapshot() (engine.SnapshotView, error)
+	AcquireSnapshot(ctx context.Context) (engine.SnapshotView, error)
 }
 
 // cachedSource is the default source: the engine's lock-free versioned
@@ -35,7 +39,7 @@ type cachedSource struct {
 	maxStale time.Duration
 }
 
-func (c cachedSource) AcquireSnapshot() (engine.SnapshotView, error) {
+func (c cachedSource) AcquireSnapshot(context.Context) (engine.SnapshotView, error) {
 	return c.eng.CachedView(c.maxStale), nil
 }
 
@@ -49,7 +53,7 @@ func FreshSource(eng *engine.Engine) SnapshotSource { return freshSource{eng} }
 
 type freshSource struct{ eng *engine.Engine }
 
-func (f freshSource) AcquireSnapshot() (engine.SnapshotView, error) {
+func (f freshSource) AcquireSnapshot(context.Context) (engine.SnapshotView, error) {
 	return f.eng.FreshView(), nil
 }
 

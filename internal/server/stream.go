@@ -121,7 +121,7 @@ func (s *Server) handleStream(r *http.Request) (int, any, error) {
 			return http.StatusBadRequest, nil,
 				fmt.Errorf("frame %d: %w (%d updates from %d frames already applied)", frames, err, updates, frames)
 		}
-		if err := s.ingest.IngestBatch(batch); err != nil {
+		if err := s.ingest.IngestBatch(r.Context(), batch); err != nil {
 			return ingestStatus(err), nil,
 				fmt.Errorf("frame %d: %w (%d updates from %d frames already applied)", frames, err, updates, frames)
 		}
@@ -144,7 +144,13 @@ func (s *Server) handleStream(r *http.Request) (int, any, error) {
 // http.Server.Shutdown so long-lived connections do not hold shutdown
 // open until the timeout kills them.
 func (s *Server) Drain() {
-	s.drainOnce.Do(func() { close(s.drainCh) })
+	s.drainOnce.Do(func() {
+		close(s.drainCh)
+		// Cancel the broadcaster's drain context too, so a push round's
+		// in-flight cluster scatter-gather aborts instead of riding out
+		// its full per-node timeout and retry budget.
+		s.drainCancel()
+	})
 }
 
 // draining reports whether Drain was called.

@@ -239,7 +239,9 @@ func (b *broadcaster) debounceWait(sig <-chan struct{}) bool {
 // and subscribers keep their connections rather than seeing a push gap
 // dressed up as data.
 func (b *broadcaster) round() {
-	view, err := b.s.snaps.AcquireSnapshot()
+	// No request context covers the push loop; the drain context cancels
+	// a round's in-flight cluster scatter-gather on shutdown.
+	view, err := b.s.snaps.AcquireSnapshot(b.s.drainCtx)
 	if err != nil {
 		return
 	}
@@ -374,11 +376,15 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) (int, e
 	// as Last-Event-ID. Seeding lastVersion with it makes the initial push
 	// conditional — a client behind the current version gets the current
 	// estimate immediately (advance succeeds), while a client already at
-	// or past it skips the redundant re-send and waits for the next
-	// mutation. An unparsable header is ignored (fresh-subscriber
-	// semantics), never a 400: resume is an optimization, not a contract.
+	// it skips the redundant re-send and waits for the next mutation.
+	// Versions are process-local and reset on restart, so an id ABOVE the
+	// current engine version can only come from another server incarnation
+	// (or a buggy client) — honoring it would suppress pushes until the
+	// version caught up, a silent gap; such ids degrade to fresh-subscriber
+	// semantics (immediate initial push), as does an unparsable header.
+	// Never a 400: resume is an optimization, not a contract.
 	if raw := r.Header.Get("Last-Event-ID"); raw != "" {
-		if v, err := strconv.ParseUint(raw, 10, 64); err == nil && v != subVersionNone {
+		if v, err := strconv.ParseUint(raw, 10, 64); err == nil && v != subVersionNone && v <= s.eng.Version() {
 			sub.lastVersion.Store(v)
 			s.wire.resumes.Add(1)
 		}
@@ -393,7 +399,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) (int, e
 	// Registration precedes the initial push, so a mutation landing in
 	// between reaches this subscriber through the broadcaster; advance()
 	// keeps the two paths from reordering versions on the wire.
-	view, err := s.snaps.AcquireSnapshot()
+	view, err := s.snaps.AcquireSnapshot(r.Context())
 	if err != nil {
 		return acquireStatus(err), err // deferred unregister cleans up
 	}

@@ -516,3 +516,33 @@ func TestSubscribeLastEventIDResume(t *testing.T) {
 		t.Fatalf("wire.resumes = %v, want 2", got)
 	}
 }
+
+// TestSubscribeLastEventIDAboveCurrentIsFresh pins the restart-safety
+// half of resume: versions are process-local and reset when the server
+// restarts, so a reconnecting client can replay an id far ABOVE the
+// current version (its id came from the previous incarnation — or from a
+// buggy client). Honoring it would suppress every push until the version
+// caught up, a silent gap despite changed state; instead it degrades to
+// fresh-subscriber semantics — an immediate initial push at the current
+// version — and does not count as a resume.
+func TestSubscribeLastEventIDAboveCurrentIsFresh(t *testing.T) {
+	_, ts, eng := subTestServer(t, Config{})
+	ingestJSON(t, ts.URL, `{"instance":0,"key":"alpha","weight":2}`)
+
+	c := resumeSSE(t, context.Background(), ts.URL, "func=max&estimator=lstar",
+		fmt.Sprintf("%d", eng.Version()+1000000))
+	fresh := c.nextPush(t)
+	if fresh.Version != eng.Version() {
+		t.Fatalf("future Last-Event-ID: push version %d, want immediate push at current %d",
+			fresh.Version, eng.Version())
+	}
+
+	_, stats := getJSON(t, ts.URL+"/v1/stats")
+	wire, ok := stats["wire"].(map[string]any)
+	if !ok {
+		t.Fatalf("/v1/stats has no wire section: %v", stats)
+	}
+	if got := wire["resumes"]; got != float64(0) {
+		t.Fatalf("wire.resumes = %v, want 0 (a clamped id is not a resume)", got)
+	}
+}
