@@ -10,7 +10,7 @@ BENCH_GATE     ?= BENCH_gate.json
 # The hot-path allowlist the benchmark gate enforces (everything else
 # stays advisory via benchcmp). Names are post-GOMAXPROCS-strip; the $$
 # doubling is Makefile escaping for a literal $.
-GATE_ALLOW     ?= ^(BenchmarkIngestBatch|BenchmarkQueryInvalidated|BenchmarkStreamIngest256|BenchmarkSnapshotIncremental/keys=16384|BenchmarkClusterQuery|BenchmarkScatterGather/cluster-64k-3nodes|BenchmarkScatterGather/single-16k)$$
+GATE_ALLOW     ?= ^(BenchmarkIngestBatch|BenchmarkQueryInvalidated|BenchmarkStreamIngest256|BenchmarkSnapshotIncremental/keys=16384|BenchmarkClusterQuery|BenchmarkScatterGather/cluster-64k-3nodes|BenchmarkScatterGather/single-16k|BenchmarkSyncDeadNode)$$
 # The matching `go test -bench` selectors. Two because go's slash-
 # segmented pattern treats a two-segment regex as sub-benchmark-only: a
 # leaf benchmark (no b.Run) never reports under it. The cluster pair
@@ -18,10 +18,10 @@ GATE_ALLOW     ?= ^(BenchmarkIngestBatch|BenchmarkQueryInvalidated|BenchmarkStre
 # benchmarks stay out of the engine/server/store selector.
 GATE_BENCH     ?= ^(BenchmarkIngestBatch|BenchmarkQueryInvalidated|BenchmarkStreamIngest256)$$
 GATE_BENCH_SUB ?= ^BenchmarkSnapshotIncremental$$/^keys=16384$$
-GATE_BENCH_CLUSTER ?= ^(BenchmarkClusterQuery|BenchmarkScatterGather)$$
+GATE_BENCH_CLUSTER ?= ^(BenchmarkClusterQuery|BenchmarkScatterGather|BenchmarkSyncDeadNode)$$
 GATE_MAX       ?= 1.30
 
-.PHONY: build test race bench bench-baseline benchcmp benchgate e2e lint
+.PHONY: build test race bench bench-baseline benchcmp benchgate e2e chaos lint
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,14 @@ benchgate:
 # and exercises graceful drain. Build-tagged so plain `make test` skips it.
 e2e:
 	$(GO) test -tags e2e -count=1 -v ./e2e/
+
+# Failure-domain end-to-end: a 3-node cluster under quorum=2 with a
+# fault proxy in front of one node — verified load through injected
+# client faults, a partition served as labeled degraded reads, heal, and
+# a bit-identity check against a never-partitioned strict coordinator.
+# CHAOS_SEED=<n> replays a specific fault schedule.
+chaos:
+	$(GO) test -tags e2e -race -count=1 -run TestChaos -v ./e2e/
 
 # gofmt + vet always; staticcheck and govulncheck when installed (CI
 # installs both, so they gate there; locally they are skipped with a

@@ -11,10 +11,20 @@
 //	loadgen -addr http://127.0.0.1:8080 [-updates 100000] [-batch 256]
 //	        [-streams 2] [-instances 2] [-subscribers 4]
 //	        [-query "func=rg&p=1&estimator=lstar"] [-verify]
-//	        [-timeout 30s]
+//	        [-timeout 30s] [-fault-profile "reset=0.01,drop-response=0.005"]
 //
 // Updates are deterministic: keys and weights derive from the update
 // index, so repeated runs against a fresh daemon build identical sketches.
+// -updates 0 runs read-only: no ingest, just subscribe + query (+ -verify)
+// against whatever the daemon already holds.
+//
+// -fault-profile injects client-side chaos (internal/fault transport
+// faults: latency, connection resets, dropped responses, cut bodies) into
+// every request loadgen makes; ingest rides idempotency-keyed streams
+// that replay through the faults, so the run still completes exactly.
+// The summary reports rate-limit rejections (429s), stream retries,
+// deduped frames, and how many query/push responses carried a cluster
+// "degraded" block.
 package main
 
 import (
@@ -30,19 +40,21 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/streamclient"
 )
 
 type options struct {
-	addr        string
-	updates     int
-	batch       int
-	streams     int
-	instances   int
-	subscribers int
-	query       string
-	verify      bool
-	timeout     time.Duration
+	addr         string
+	updates      int
+	batch        int
+	streams      int
+	instances    int
+	subscribers  int
+	query        string
+	verify       bool
+	timeout      time.Duration
+	faultProfile string
 }
 
 func main() {
@@ -56,6 +68,7 @@ func main() {
 	flag.StringVar(&o.query, "query", "func=rg&p=1&estimator=lstar", "subscribe query string")
 	flag.BoolVar(&o.verify, "verify", false, "assert the pushed estimate matches POST /v1/query at the same version")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "overall deadline")
+	flag.StringVar(&o.faultProfile, "fault-profile", "", "internal/fault transport profile, e.g. \"latency=1ms,reset=0.01,drop-response=0.005,seed=1\"")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -79,12 +92,22 @@ func synthUpdate(i, instances int) engine.Update {
 }
 
 func run(o options) error {
-	if o.updates <= 0 || o.batch <= 0 || o.streams <= 0 || o.instances <= 0 {
-		return fmt.Errorf("-updates, -batch, -streams, -instances must be positive")
+	if o.updates < 0 || o.batch <= 0 || o.streams <= 0 || o.instances <= 0 {
+		return fmt.Errorf("-batch, -streams, -instances must be positive and -updates nonnegative")
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), o.timeout)
 	defer cancel()
 	client := &http.Client{}
+	var ft *fault.Transport
+	if o.faultProfile != "" {
+		prof, err := fault.ParseProfile(o.faultProfile)
+		if err != nil {
+			return fmt.Errorf("-fault-profile: %w", err)
+		}
+		ft = fault.NewTransport(prof, nil)
+		client.Transport = ft
+		fmt.Printf("fault profile active: %s\n", o.faultProfile)
+	}
 
 	// Subscribers go up first so every push from the ingest run is theirs
 	// to observe. Each remembers its latest push.
@@ -93,9 +116,10 @@ func run(o options) error {
 		last atomic.Pointer[streamclient.Push]
 		done chan struct{}
 	}
+	var degradedPushes atomic.Int64
 	subs := make([]*subState, 0, o.subscribers)
 	for i := 0; i < o.subscribers; i++ {
-		sub, err := streamclient.Subscribe(ctx, client, o.addr, o.query)
+		sub, err := subscribeRetry(ctx, client, o.addr, o.query)
 		if err != nil {
 			return fmt.Errorf("subscriber %d: %w", i, err)
 		}
@@ -108,6 +132,9 @@ func run(o options) error {
 				if err != nil {
 					return
 				}
+				if len(p.Degraded) > 0 && string(p.Degraded) != "null" {
+					degradedPushes.Add(1)
+				}
 				st.last.Store(&p)
 			}
 		}()
@@ -118,64 +145,76 @@ func run(o options) error {
 		}
 	}()
 
-	// Fan the update range over the stream connections.
-	per := (o.updates + o.streams - 1) / o.streams
-	var wg sync.WaitGroup
-	var streamed atomic.Int64
-	errc := make(chan error, o.streams)
-	start := time.Now()
-	for s := 0; s < o.streams; s++ {
-		lo, hi := s*per, (s+1)*per
-		if hi > o.updates {
-			hi = o.updates
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			st, err := streamclient.OpenStream(ctx, client, o.addr)
-			if err != nil {
-				errc <- err
-				return
+	// Fan the update range over the stream connections; each is one
+	// idempotency-keyed Pump, so a 429 or an injected transport fault
+	// replays under the same key and every update still lands exactly once.
+	if o.updates > 0 {
+		per := (o.updates + o.streams - 1) / o.streams
+		runNonce := time.Now().UnixNano()
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var total streamclient.PumpStats
+		errc := make(chan error, o.streams)
+		start := time.Now()
+		for s := 0; s < o.streams; s++ {
+			lo, hi := s*per, (s+1)*per
+			if hi > o.updates {
+				hi = o.updates
 			}
-			batch := make([]engine.Update, 0, o.batch)
-			for i := lo; i < hi; i++ {
-				batch = append(batch, synthUpdate(i, o.instances))
-				if len(batch) == o.batch {
-					if err := st.Send(batch); err != nil {
-						st.Close()
-						errc <- err
-						return
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(s, lo, hi int) {
+				defer wg.Done()
+				key := fmt.Sprintf("loadgen-%d-%d", runNonce, s)
+				next := func(frame int) ([]engine.Update, bool) {
+					flo := lo + frame*o.batch
+					if flo >= hi {
+						return nil, false
 					}
-					streamed.Add(int64(len(batch)))
-					batch = batch[:0]
+					fhi := min(flo+o.batch, hi)
+					batch := make([]engine.Update, 0, fhi-flo)
+					for i := flo; i < fhi; i++ {
+						batch = append(batch, synthUpdate(i, o.instances))
+					}
+					return batch, true
 				}
-			}
-			if len(batch) > 0 {
-				if err := st.Send(batch); err != nil {
-					st.Close()
+				ps, err := streamclient.Pump(ctx, client, o.addr, key, next, 50)
+				mu.Lock()
+				total.Frames += ps.Frames
+				total.Updates += ps.Updates
+				total.SkippedFrames += ps.SkippedFrames
+				total.SkippedUpdates += ps.SkippedUpdates
+				total.RateLimited += ps.RateLimited
+				total.Retries += ps.Retries
+				mu.Unlock()
+				if err != nil {
 					errc <- err
-					return
 				}
-				streamed.Add(int64(len(batch)))
-			}
-			if _, err := st.Close(); err != nil {
-				errc <- err
-			}
-		}(lo, hi)
+			}(s, lo, hi)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errc:
+			return fmt.Errorf("stream: %w", err)
+		default:
+		}
+		streamed := total.Updates + total.SkippedUpdates
+		rate := float64(streamed) / elapsed.Seconds()
+		fmt.Printf("streamed %d updates in %v over %d connections (%.0f updates/s)\n",
+			streamed, elapsed.Round(time.Millisecond), o.streams, rate)
+		fmt.Printf("backpressure: %d rate-limited (429), %d stream retries, %d frames deduped on replay\n",
+			total.RateLimited, total.Retries, total.SkippedFrames)
+	} else {
+		fmt.Println("read-only run (-updates 0): no ingest")
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	select {
-	case err := <-errc:
-		return fmt.Errorf("stream: %w", err)
-	default:
+	if ft != nil {
+		fs := ft.Stats()
+		fmt.Printf("injected faults: %d requests, %d resets, %d dropped responses, %d cut bodies\n",
+			fs.Requests, fs.Resets, fs.Dropped, fs.Cut)
 	}
-	rate := float64(streamed.Load()) / elapsed.Seconds()
-	fmt.Printf("streamed %d updates in %v over %d connections (%.0f updates/s)\n",
-		streamed.Load(), elapsed.Round(time.Millisecond), o.streams, rate)
 
 	if o.subscribers == 0 {
 		return nil
@@ -185,9 +224,13 @@ func run(o options) error {
 	// the daemon's version is final. Wait for every subscriber's latest
 	// push to reach it, then — under -verify — replay the same query over
 	// POST /v1/query and demand byte-equal results at that version.
-	finalVersion, queried, err := queryOnce(ctx, client, o.addr, o.query)
+	finalVersion, queried, degradedQuery, err := queryRetry(ctx, client, o.addr, o.query)
 	if err != nil {
 		return err
+	}
+	degradedQueries := 0
+	if degradedQuery {
+		degradedQueries++
 	}
 	deadline := time.NewTimer(o.timeout)
 	defer deadline.Stop()
@@ -206,6 +249,8 @@ func run(o options) error {
 		}
 	}
 	fmt.Printf("%d subscribers caught up to version %d\n", len(subs), finalVersion)
+	fmt.Printf("degraded reads: %d queries, %d pushes carried a degraded block\n",
+		degradedQueries, degradedPushes.Load())
 
 	if !o.verify {
 		return nil
@@ -231,9 +276,49 @@ func run(o options) error {
 	return nil
 }
 
+// subscribeRetry opens a subscription, absorbing transient (injected or
+// real) transport failures with a short backoff.
+func subscribeRetry(ctx context.Context, client *http.Client, addr, rawQuery string) (*streamclient.Subscription, error) {
+	var err error
+	for attempt := 0; attempt < 8; attempt++ {
+		var sub *streamclient.Subscription
+		if sub, err = streamclient.Subscribe(ctx, client, addr, rawQuery); err == nil {
+			return sub, nil
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// queryRetry is queryOnce with the same transient-failure tolerance.
+func queryRetry(ctx context.Context, client *http.Client, addr, rawQuery string) (uint64, []json.RawMessage, bool, error) {
+	var (
+		version  uint64
+		results  []json.RawMessage
+		degraded bool
+		err      error
+	)
+	for attempt := 0; attempt < 8; attempt++ {
+		if version, results, degraded, err = queryOnce(ctx, client, addr, rawQuery); err == nil {
+			return version, results, degraded, nil
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return 0, nil, false, err
+		}
+	}
+	return 0, nil, false, err
+}
+
 // queryOnce answers the subscribe query over POST /v1/query, translating
-// the URL-parameter form into one batched query object.
-func queryOnce(ctx context.Context, client *http.Client, addr, rawQuery string) (uint64, []json.RawMessage, error) {
+// the URL-parameter form into one batched query object. The bool reports
+// whether the response carried a cluster "degraded" block.
+func queryOnce(ctx context.Context, client *http.Client, addr, rawQuery string) (uint64, []json.RawMessage, bool, error) {
 	spec := map[string]any{}
 	for _, kv := range strings.Split(rawQuery, "&") {
 		if kv == "" {
@@ -244,13 +329,13 @@ func queryOnce(ctx context.Context, client *http.Client, addr, rawQuery string) 
 		case "p", "c":
 			var f float64
 			if _, err := fmt.Sscan(v, &f); err != nil {
-				return 0, nil, fmt.Errorf("query param %s=%q: %w", k, v, err)
+				return 0, nil, false, fmt.Errorf("query param %s=%q: %w", k, v, err)
 			}
 			spec[k] = f
 		case "keys", "ids":
 			spec[k] = strings.Split(v, ",")
 		case "queries":
-			return 0, nil, fmt.Errorf("-verify supports parameter-form queries only, not queries=[...]")
+			return 0, nil, false, fmt.Errorf("-verify supports parameter-form queries only, not queries=[...]")
 		default:
 			spec[k] = v
 		}
@@ -258,25 +343,27 @@ func queryOnce(ctx context.Context, client *http.Client, addr, rawQuery string) 
 	body, _ := json.Marshal(map[string]any{"queries": []any{spec}})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimSuffix(addr, "/")+"/v1/query", strings.NewReader(string(body)))
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, false, err
 	}
 	defer resp.Body.Close()
 	var out struct {
-		Version uint64            `json:"version"`
-		Results []json.RawMessage `json:"results"`
+		Version  uint64            `json:"version"`
+		Results  []json.RawMessage `json:"results"`
+		Degraded json.RawMessage   `json:"degraded"`
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, nil, fmt.Errorf("query: status %d", resp.StatusCode)
+		return 0, nil, false, fmt.Errorf("query: status %d", resp.StatusCode)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, nil, err
+		return 0, nil, false, err
 	}
-	return out.Version, out.Results, nil
+	degraded := len(out.Degraded) > 0 && string(out.Degraded) != "null"
+	return out.Version, out.Results, degraded, nil
 }
 
 // jsonEqual compares two JSON documents structurally (key order and

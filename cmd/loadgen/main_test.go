@@ -38,7 +38,13 @@ func TestRunVerifiesAgainstInProcessServer(t *testing.T) {
 }
 
 func TestRunRejectsBadOptions(t *testing.T) {
-	if err := run(options{updates: 0, batch: 1, streams: 1, instances: 1}); err == nil {
-		t.Fatal("zero -updates accepted")
+	if err := run(options{updates: -1, batch: 1, streams: 1, instances: 1}); err == nil {
+		t.Fatal("negative -updates accepted")
+	}
+	if err := run(options{updates: 1, batch: 0, streams: 1, instances: 1}); err == nil {
+		t.Fatal("zero -batch accepted")
+	}
+	if err := run(options{updates: 1, batch: 1, streams: 1, instances: 1, faultProfile: "bogus"}); err == nil {
+		t.Fatal("malformed -fault-profile accepted")
 	}
 }

@@ -12,6 +12,8 @@
 //	        [-subscribe-debounce 100ms] [-subscribe-heartbeat 15s]
 //	        [-data-dir DIR] [-fsync always|interval|never]
 //	        [-checkpoint-interval 1m] [-pprof]
+//	        [-cluster url1,url2] [-cluster-read strict|partial|quorum=N]
+//	        [-ingest-rate 0] [-ingest-burst 0] [-ingest-inflight 0]
 //
 // -default-estimator names the registry estimator used when a request
 // does not name one; -estimators is an optional comma-separated allowlist
@@ -49,11 +51,30 @@
 // serve the full /v1/query//v1/subscribe surface from the merged
 // snapshot, bit-identical to a single node fed the union stream. Writes
 // to the coordinator's /v1/ingest and /v1/stream forward synchronously to
-// the consistent-hash ring owners. A member node down makes reads answer
-// 503 (degraded mode) instead of silently under-counting. -cluster-poll
-// keeps subscriptions live without query traffic; -cluster-sync-max-stale
-// bounds sync frequency under read load; -data-dir is rejected (nodes own
-// durability — the coordinator rebuilds from them on the next sync).
+// the consistent-hash ring owners. -cluster-read picks the read policy
+// for member-node failures: strict (the default) answers 503 when any
+// node is unreachable instead of silently under-counting; partial serves
+// the merged view of whatever nodes answered; quorum=<n> serves when at
+// least n nodes answered. Under partial/quorum, every snapshot-backed
+// response carries a "degraded" block naming the missing nodes and how
+// stale their last-merged contribution is — estimates stay well-defined
+// lower bounds over the reachable subset. Dead nodes are cheap: node
+// requests retry with capped exponential backoff + full jitter behind a
+// per-node circuit breaker, so an unreachable node short-circuits
+// instead of costing a timeout per sync. -cluster-poll keeps
+// subscriptions live without query traffic; -cluster-sync-max-stale
+// bounds sync frequency under read load; -data-dir is rejected (nodes
+// own durability — the coordinator rebuilds from them on the next sync).
+//
+// Backpressure: -ingest-rate caps each client IP's sustained ingest
+// throughput in updates/sec (-ingest-burst sets the bucket size) and
+// -ingest-inflight bounds concurrent ingest requests + open streams.
+// Refused work answers a structured 429 with Retry-After; a refused
+// stream frame reports applied progress so clients resume exactly.
+//
+// GET /healthz is liveness (process up — always 200); GET /readyz is
+// readiness (coordinator: the read policy is currently satisfiable;
+// node: store attached and recovery complete before the listener opens).
 //
 // -pprof mounts net/http/pprof under /debug/pprof/ on the same listener.
 //
@@ -120,6 +141,11 @@ type options struct {
 	clusterTimeout time.Duration
 	clusterPoll    time.Duration
 	clusterStale   time.Duration
+	clusterRead    string
+
+	ingestRate     float64
+	ingestBurst    float64
+	ingestInflight int
 }
 
 func main() {
@@ -143,6 +169,10 @@ func main() {
 	flag.DurationVar(&o.clusterTimeout, "cluster-timeout", 2*time.Second, "per-node request timeout in cluster mode")
 	flag.DurationVar(&o.clusterPoll, "cluster-poll", 200*time.Millisecond, "background node-sync period driving /v1/subscribe pushes (0 = query-driven only)")
 	flag.DurationVar(&o.clusterStale, "cluster-sync-max-stale", 0, "skip node re-sync when the last one is at most this old (0 = sync per read)")
+	flag.StringVar(&o.clusterRead, "cluster-read", "strict", "cluster read policy: strict, partial, or quorum=<n>")
+	flag.Float64Var(&o.ingestRate, "ingest-rate", 0, "per-client ingest rate limit in updates/sec (0 = unlimited)")
+	flag.Float64Var(&o.ingestBurst, "ingest-burst", 0, "token-bucket burst for -ingest-rate (0 = same as rate)")
+	flag.IntVar(&o.ingestInflight, "ingest-inflight", 0, "max concurrent ingest requests + open streams (0 = unlimited)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -177,6 +207,13 @@ func run(o options) error {
 	// member nodes' binary sketches, and ingest routes to ring owners. The
 	// coordinator is deliberately stateless (its contents rebuild from the
 	// nodes on the next sync), so -data-dir belongs on the nodes, not here.
+	readPolicy, err := cluster.ParseReadPolicy(o.clusterRead)
+	if err != nil {
+		return fmt.Errorf("-cluster-read: %w", err)
+	}
+	if readPolicy.Mode != cluster.ReadStrict && o.cluster == "" {
+		return fmt.Errorf("-cluster-read %s requires -cluster (a single node has no partial view to serve)", readPolicy)
+	}
 	var coord *cluster.Coordinator
 	if o.cluster != "" {
 		if o.dataDir != "" {
@@ -195,6 +232,7 @@ func run(o options) error {
 			Timeout:      o.clusterTimeout,
 			Poll:         o.clusterPoll,
 			SyncMaxStale: o.clusterStale,
+			ReadPolicy:   readPolicy,
 		})
 		if err != nil {
 			return err
@@ -279,10 +317,18 @@ func run(o options) error {
 		Persist:            persist,
 		SubscribeDebounce:  o.subDebounce,
 		SubscribeHeartbeat: o.subHeartbeat,
+		IngestRate:         o.ingestRate,
+		IngestBurst:        o.ingestBurst,
+		IngestInflight:     o.ingestInflight,
 	}
 	if coord != nil {
 		srvCfg.Snapshots = coord
 		srvCfg.Ingest = coord
+		srvCfg.Cluster = coord
+		// Readiness on a coordinator means the read policy is satisfiable
+		// right now. A node needs no probe: recovery completes before the
+		// listener opens, so a node answering /readyz at all is ready.
+		srvCfg.Ready = coord.Ready
 	}
 	api := server.NewWith(eng, srvCfg)
 	var handler http.Handler = api

@@ -58,6 +58,17 @@ type nodeClient struct {
 	hc      *http.Client
 	timeout time.Duration
 	retries int
+	// br short-circuits requests while the node looks dead (nil =
+	// breaker disabled); backoffBase/backoffMax shape the full-jitter
+	// retry pauses drawn from jitter. Fetches and routed sends share all
+	// of it — availability is a property of the node, not of the verb.
+	br          *breaker
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	jitter      *jitterSource
+	// lastMergeAt is when commit last ran (unix nanos; 0 = never) — the
+	// staleness label degraded blocks carry for this node.
+	lastMergeAt atomic.Int64
 	// version is the node's engine version at the last fetch whose state
 	// was MERGED (the /v1/sketch ETag) — the coordinator's version-vector
 	// entry for this node. have flags that version holds a real merge.
@@ -75,26 +86,60 @@ type nodeClient struct {
 func (n *nodeClient) commit(v uint64) {
 	n.version.Store(v)
 	n.have.Store(true)
+	n.lastMergeAt.Store(time.Now().UnixNano())
+}
+
+// missingEntry labels this node for a degraded block: the failure that
+// excluded it this round, and how stale its surviving (already-merged)
+// contribution to the view is.
+func (n *nodeClient) missingEntry(err error, now time.Time) MissingNode {
+	m := MissingNode{Node: n.addr, Error: err.Error(), StaleSeconds: -1}
+	if at := n.lastMergeAt.Load(); at > 0 && n.have.Load() {
+		m.LastMergedVersion = n.version.Load()
+		m.StaleSeconds = now.Sub(time.Unix(0, at)).Seconds()
+	} else {
+		m.NeverMerged = true
+	}
+	return m
 }
 
 // retrying runs op up to 1+retries times, retrying only failures that
-// might be transient (transport errors and 5xx), with a brief pause so a
-// restarting node can finish binding its listener.
+// might be transient (transport errors and 5xx) with capped
+// exponential backoff and full jitter, all behind the node's circuit
+// breaker: while the breaker is open, the call short-circuits with
+// ErrBreakerOpen without touching the wire, so a dead node costs the
+// cluster ~nothing per round instead of timeout×(1+retries). Breaker
+// outcomes are recorded on Unavailable-class results only — a 4xx
+// proves the node reachable and counts as contact.
 func (n *nodeClient) retrying(ctx context.Context, op func(context.Context) error) error {
 	var err error
 	for attempt := 0; ; attempt++ {
+		if n.br != nil && !n.br.allow(time.Now()) {
+			return &NodeError{Addr: n.addr, Err: ErrBreakerOpen}
+		}
 		actx, cancel := context.WithTimeout(ctx, n.timeout)
 		err = op(actx)
 		cancel()
 		if err == nil {
+			if n.br != nil {
+				n.br.success()
+			}
 			return nil
 		}
 		ne, ok := err.(*NodeError)
-		if !ok || !ne.Unavailable() || attempt >= n.retries {
+		unavailable := ok && ne.Unavailable()
+		if n.br != nil {
+			if unavailable {
+				n.br.failure(time.Now())
+			} else {
+				n.br.success()
+			}
+		}
+		if !unavailable || attempt >= n.retries {
 			return err
 		}
 		select {
-		case <-time.After(50 * time.Millisecond):
+		case <-time.After(backoffDelay(n.jitter, n.backoffBase, n.backoffMax, attempt)):
 		case <-ctx.Done():
 			return err
 		}
@@ -158,12 +203,12 @@ func (n *nodeClient) fetchSketch(ctx context.Context) (st *engine.State, size in
 // the owner nodes have the updates — read-your-writes through the
 // coordinator holds. Correctness-safe to retry: sketch folds are
 // idempotent under max-weight union, so estimates never double-count.
-// Accounting caveat: a retry after a transport error that raced the
-// node's apply (e.g. the response was lost) re-applies the frames, so
-// the node-side Ingests and wire stream counters can overcount such
-// batches — /v1/stats throughput numbers are approximate under routed
-// retries, never the estimates.
-func (n *nodeClient) sendBatch(ctx context.Context, batch []engine.Update) error {
+// Every attempt carries the same per-batch Idempotency-Key, so a retry
+// after a transport error that raced the node's apply (e.g. the
+// response was lost) replays frames the node recognizes and skips —
+// node-side Ingests and wire stream counters stay exact, not just the
+// estimates.
+func (n *nodeClient) sendBatch(ctx context.Context, key string, batch []engine.Update) error {
 	return n.retrying(ctx, func(ctx context.Context) error {
 		buf := store.AppendStreamHeader(nil)
 		for lo := 0; lo < len(batch); lo += ingestFrameUpdates {
@@ -174,6 +219,9 @@ func (n *nodeClient) sendBatch(ctx context.Context, batch []engine.Update) error
 			return &NodeError{Addr: n.addr, Err: err}
 		}
 		req.Header.Set("Content-Type", store.StreamContentType)
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
 		resp, err := n.hc.Do(req)
 		if err != nil {
 			return &NodeError{Addr: n.addr, Err: err}

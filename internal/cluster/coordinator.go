@@ -2,7 +2,10 @@ package cluster
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -21,14 +24,19 @@ import (
 // union stream, so every estimator, cache and push layer above works
 // unchanged.
 //
-// Consistency model: reads are strict, not best-effort. A query triggers
-// one version-vector sync — each node answers a conditional /v1/sketch
-// fetch, transferring state only when its version advanced (steady state:
-// N tiny 304s, zero state bytes, no merge) — and any unreachable node
-// fails the read with a degraded-mode error (HTTP 503 through
-// internal/server) rather than silently serving estimates missing a key
-// range. SyncMaxStale optionally bounds how often the vector is polled
-// under read load, trading staleness for N-fold fewer round trips.
+// Consistency model: governed by Config.ReadPolicy. Strict (default):
+// a query triggers one version-vector sync — each node answers a
+// conditional /v1/sketch fetch, transferring state only when its
+// version advanced (steady state: N tiny 304s, zero state bytes, no
+// merge) — and any unreachable node fails the read with a degraded-mode
+// error (HTTP 503 through internal/server) rather than silently serving
+// estimates missing a key range. Partial/quorum policies instead serve
+// the merged view from the reachable subset when the policy floor is
+// met, attaching an explicit Degraded block (never a silent partial
+// answer); only Unavailable-class failures are maskable — a seed
+// mismatch or merge failure always fails the round. SyncMaxStale
+// optionally bounds how often the vector is polled under read load,
+// trading staleness for N-fold fewer round trips.
 type Coordinator struct {
 	ring  *Ring
 	merge *engine.Engine
@@ -39,6 +47,17 @@ type Coordinator struct {
 	// piggyback on the round in flight instead of stampeding the nodes.
 	syncMu   sync.Mutex
 	lastSync time.Time
+
+	// degraded labels the last completed round: nil when every node was
+	// reached, else the missing-node block responses must carry.
+	degraded atomic.Pointer[Degraded]
+
+	// idemBase + idemSeq mint per-routed-batch Idempotency-Keys. The
+	// base is random per coordinator instance so a restarted
+	// coordinator's keys cannot collide with its predecessor's (and the
+	// node's frame digests make even a collision harmless).
+	idemBase string
+	idemSeq  atomic.Uint64
 
 	stats coordStats
 
@@ -67,6 +86,19 @@ type Config struct {
 	// Retries is how many extra attempts transiently-failing node
 	// requests get (default 1; negative = none).
 	Retries int
+	// ReadPolicy selects strict, partial or quorum reads (zero value =
+	// strict). Quorum must not exceed len(Nodes).
+	ReadPolicy ReadPolicy
+	// BackoffBase/BackoffMax shape retry pauses: full jitter in
+	// [0, min(BackoffMax, BackoffBase<<attempt)). Defaults 25ms / 1s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold consecutive Unavailable-class failures open a
+	// node's circuit breaker (default 3; negative disables breakers).
+	// BreakerCooldown is how long an open breaker short-circuits before
+	// letting one half-open probe through (default 250ms).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 	// SyncMaxStale skips the version-vector round when the last sync is
 	// at most this old (0 = every read syncs — strict read-your-writes
 	// through the coordinator).
@@ -86,12 +118,15 @@ type coordStats struct {
 	notModified atomic.Uint64
 	stateBytes  atomic.Uint64
 	routed      atomic.Uint64
+	degraded    atomic.Uint64
 }
 
 // Stats is a snapshot of the coordinator's scatter-gather counters.
 type Stats struct {
-	// Syncs counts completed scatter-gather rounds.
-	Syncs uint64 `json:"syncs"`
+	// Syncs counts completed scatter-gather rounds (degraded ones
+	// included; DegradedSyncs counts just those).
+	Syncs         uint64 `json:"syncs"`
+	DegradedSyncs uint64 `json:"degraded_syncs"`
 	// Fetches counts 200 sketch responses (node state actually
 	// transferred and merged); NotModified counts 304s (version vector
 	// hit — nothing re-fetched).
@@ -101,6 +136,24 @@ type Stats struct {
 	StateBytes uint64 `json:"state_bytes"`
 	// RoutedUpdates counts updates forwarded to owner nodes.
 	RoutedUpdates uint64 `json:"routed_updates"`
+	// Policy is the configured read policy; Nodes is per-node breaker
+	// and version-vector state.
+	Policy string      `json:"policy"`
+	Nodes  []NodeStats `json:"nodes"`
+}
+
+// NodeStats is one node's availability state as the coordinator sees it.
+type NodeStats struct {
+	Node    string `json:"node"`
+	Breaker string `json:"breaker"` // closed | open | half-open
+	// BreakerOpens counts closed/half-open → open transitions;
+	// ShortCircuits counts requests skipped without touching the wire.
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	ShortCircuits uint64 `json:"short_circuits"`
+	// LastMergedVersion/StaleSeconds mirror the degraded-block labels
+	// (StaleSeconds -1 = never merged).
+	LastMergedVersion uint64  `json:"last_merged_version"`
+	StaleSeconds      float64 `json:"stale_seconds"`
 }
 
 // New builds a coordinator and its empty merge engine. It performs no
@@ -122,26 +175,54 @@ func New(cfg Config) (*Coordinator, error) {
 	} else if cfg.Retries < 0 {
 		cfg.Retries = 0
 	}
+	if cfg.ReadPolicy.Mode == ReadQuorum && cfg.ReadPolicy.Quorum > len(cfg.Nodes) {
+		return nil, fmt.Errorf("cluster: read quorum %d exceeds %d nodes",
+			cfg.ReadPolicy.Quorum, len(cfg.Nodes))
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 250 * time.Millisecond
+	}
 	hc := cfg.Client
 	if hc == nil {
 		hc = &http.Client{}
 	}
 	stopCtx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
-		ring:    ring,
-		merge:   merge,
-		cfg:     cfg,
-		stopCtx: stopCtx,
-		stop:    stop,
-		stopped: make(chan struct{}),
+		ring:     ring,
+		merge:    merge,
+		cfg:      cfg,
+		idemBase: idempotencyBase(),
+		stopCtx:  stopCtx,
+		stop:     stop,
+		stopped:  make(chan struct{}),
 	}
-	for _, addr := range ring.Nodes() {
-		c.nodes = append(c.nodes, &nodeClient{
-			addr:    addr,
-			hc:      hc,
-			timeout: cfg.Timeout,
-			retries: cfg.Retries,
-		})
+	// Backoff jitter is seeded from the engine hash so a chaos run's
+	// retry schedule replays from the cluster's own configuration.
+	jitterSeed := math.Float64bits(cfg.Engine.Hash.U(0x6661756c74))
+	for i, addr := range ring.Nodes() {
+		n := &nodeClient{
+			addr:        addr,
+			hc:          hc,
+			timeout:     cfg.Timeout,
+			retries:     cfg.Retries,
+			backoffBase: cfg.BackoffBase,
+			backoffMax:  cfg.BackoffMax,
+			jitter:      &jitterSource{},
+		}
+		n.jitter.state.Store(jitterSeed + uint64(i)*0x9e3779b97f4a7c15)
+		if cfg.BreakerThreshold > 0 {
+			n.br = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
+		c.nodes = append(c.nodes, n)
 	}
 	if cfg.Poll > 0 {
 		go c.pollLoop()
@@ -157,15 +238,55 @@ func (c *Coordinator) Engine() *engine.Engine { return c.merge }
 // Ring exposes the routing ring (tests and diagnostics).
 func (c *Coordinator) Ring() *Ring { return c.ring }
 
-// Stats returns the scatter-gather counters.
+// Stats returns the scatter-gather counters and per-node availability
+// state.
 func (c *Coordinator) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Syncs:         c.stats.syncs.Load(),
+		DegradedSyncs: c.stats.degraded.Load(),
 		Fetches:       c.stats.fetches.Load(),
 		NotModified:   c.stats.notModified.Load(),
 		StateBytes:    c.stats.stateBytes.Load(),
 		RoutedUpdates: c.stats.routed.Load(),
+		Policy:        c.cfg.ReadPolicy.String(),
 	}
+	now := time.Now()
+	for _, n := range c.nodes {
+		ns := NodeStats{Node: n.addr, Breaker: breakerClosed.String(), StaleSeconds: -1}
+		if n.br != nil {
+			ns.Breaker = n.br.current().String()
+			ns.BreakerOpens = n.br.opens.Load()
+			ns.ShortCircuits = n.br.shortCircuits.Load()
+		}
+		if at := n.lastMergeAt.Load(); at > 0 && n.have.Load() {
+			ns.LastMergedVersion = n.version.Load()
+			ns.StaleSeconds = now.Sub(time.Unix(0, at)).Seconds()
+		}
+		s.Nodes = append(s.Nodes, ns)
+	}
+	return s
+}
+
+// Degraded returns the degraded block of the last completed round (nil
+// = the last round reached every node). The label pairs with the merge
+// engine's current view: a concurrent round can only make the view
+// fresher than the label claims, never staler.
+func (c *Coordinator) Degraded() *Degraded { return c.degraded.Load() }
+
+// Ready reports read-policy satisfiability — the coordinator's /readyz:
+// nil when a scatter-gather round can currently meet the policy floor.
+func (c *Coordinator) Ready(ctx context.Context) error {
+	return c.Sync(ctx)
+}
+
+// idempotencyBase mints the per-instance key prefix.
+func idempotencyBase() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// Non-cryptographic fallback; frame digests keep collisions safe.
+		return fmt.Sprintf("coord-%x", time.Now().UnixNano())
+	}
+	return "coord-" + hex.EncodeToString(b[:])
 }
 
 // Close stops the background poll loop and cancels its in-flight node
@@ -196,14 +317,24 @@ func (c *Coordinator) pollLoop() {
 // conditionally on the version vector, concurrently; changed states fold
 // into the merge engine in node order (order only affects mutation
 // accounting — max-union is commutative). Rounds are single-flighted and
-// optionally rate-bounded by SyncMaxStale. Any node failure fails the
-// round with the first failing node's error, but only AFTER every
-// successful fetch has been merged and had its vector entry committed:
-// merge-then-commit per node keeps a transient failure elsewhere from
-// caching a version whose state was never folded in (which would turn
-// that node's next fetch into a 304 and silently drop its updates from
-// the merged view). State merged in a failed round stays — folds are
-// monotone, and a later successful round completes the picture.
+// optionally rate-bounded by SyncMaxStale.
+//
+// Failure handling is policy-aware, but merges always come first: every
+// successful fetch is merged and has its vector entry committed BEFORE
+// any error is returned — merge-then-commit per node keeps a transient
+// failure elsewhere from caching a version whose state was never folded
+// in (which would turn that node's next fetch into a 304 and silently
+// drop its updates from the merged view). Then:
+//
+//   - Non-Unavailable failures (4xx config mismatches, merge rejects)
+//     always fail the round — no policy masks a correctness problem.
+//   - Unavailable-class failures fail the round only when the count of
+//     reached nodes falls below the read policy's floor; otherwise the
+//     round completes as DEGRADED, recording the missing nodes (with
+//     last-merged staleness) for responses to carry. State merged from
+//     missing nodes in earlier rounds stays in the view — folds are
+//     monotone — so a degraded answer is the union of live state from
+//     reachable nodes and the last-merged state of missing ones.
 func (c *Coordinator) Sync(ctx context.Context) error {
 	c.syncMu.Lock()
 	defer c.syncMu.Unlock()
@@ -226,15 +357,24 @@ func (c *Coordinator) Sync(ctx context.Context) error {
 		}(i, n)
 	}
 	wg.Wait()
-	var firstErr error
+	var firstErr, firstUnavail error
+	reached := 0
+	var missing []MissingNode
+	now := time.Now()
 	for i, res := range results {
 		switch {
 		case res.err != nil:
-			if firstErr == nil {
+			if ne, ok := res.err.(*NodeError); ok && ne.Unavailable() {
+				if firstUnavail == nil {
+					firstUnavail = res.err
+				}
+				missing = append(missing, c.nodes[i].missingEntry(res.err, now))
+			} else if firstErr == nil {
 				firstErr = res.err
 			}
 		case res.st == nil:
 			c.stats.notModified.Add(1)
+			reached++
 		default:
 			if err := c.merge.MergeState(res.st); err != nil {
 				if firstErr == nil {
@@ -246,10 +386,25 @@ func (c *Coordinator) Sync(ctx context.Context) error {
 			c.nodes[i].commit(res.st.Version)
 			c.stats.fetches.Add(1)
 			c.stats.stateBytes.Add(uint64(res.size))
+			reached++
 		}
 	}
 	if firstErr != nil {
 		return firstErr
+	}
+	if reached < c.cfg.ReadPolicy.floor(len(c.nodes)) {
+		return firstUnavail
+	}
+	if len(missing) > 0 {
+		c.stats.degraded.Add(1)
+		c.degraded.Store(&Degraded{
+			Policy:    c.cfg.ReadPolicy.String(),
+			Reachable: reached,
+			Total:     len(c.nodes),
+			Missing:   missing,
+		})
+	} else {
+		c.degraded.Store(nil)
 	}
 	c.stats.syncs.Add(1)
 	c.lastSync = time.Now()
@@ -265,10 +420,18 @@ func (c *Coordinator) Sync(ctx context.Context) error {
 // fetches, so a disconnected client or a draining server does not hold
 // the sync for timeout×(1+retries) per node.
 func (c *Coordinator) AcquireSnapshot(ctx context.Context) (engine.SnapshotView, error) {
+	view, _, err := c.AcquireSnapshotDegraded(ctx)
+	return view, err
+}
+
+// AcquireSnapshotDegraded is AcquireSnapshot plus the degraded label of
+// the round that produced the view (nil = exact full union). It is the
+// method internal/server's degraded-aware acquisition path looks for.
+func (c *Coordinator) AcquireSnapshotDegraded(ctx context.Context) (engine.SnapshotView, *Degraded, error) {
 	if err := c.Sync(ctx); err != nil {
-		return engine.SnapshotView{}, err
+		return engine.SnapshotView{}, nil, err
 	}
-	return c.merge.FreshView(), nil
+	return c.merge.FreshView(), c.degraded.Load(), nil
 }
 
 // IngestBatch implements internal/server's Ingestor: partition the batch
@@ -296,11 +459,14 @@ func (c *Coordinator) IngestBatch(ctx context.Context, batch []engine.Update) er
 		if len(part) == 0 {
 			continue
 		}
+		// One key per node share, stable across that share's retries, so
+		// the node recognizes and skips replayed frames.
+		key := fmt.Sprintf("%s-%d", c.idemBase, c.idemSeq.Add(1))
 		wg.Add(1)
-		go func(i int, part []engine.Update) {
+		go func(i int, key string, part []engine.Update) {
 			defer wg.Done()
-			errs[i] = c.nodes[i].sendBatch(ctx, part)
-		}(i, part)
+			errs[i] = c.nodes[i].sendBatch(ctx, key, part)
+		}(i, key, part)
 	}
 	wg.Wait()
 	for _, err := range errs {

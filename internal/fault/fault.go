@@ -1,0 +1,61 @@
+// Package fault is a deterministic fault-injection toolkit for the
+// repo's robustness tests and chaos runs. It provides three injectors:
+//
+//   - Transport: an http.RoundTripper wrapper adding latency, connection
+//     resets, dropped responses (the request WAS processed — the retry
+//     ambiguity), mid-body cuts, and per-host partitions.
+//   - Proxy: a TCP listener proxy for whole-process tests, with
+//     partition (refuse + kill connections) and blackhole (accept,
+//     swallow, never answer — the timeout-shaped failure) modes.
+//   - Store: a store.Store wrapper injecting delayed, failed and torn
+//     WAL appends, fsync errors, and checkpoint failures.
+//
+// Every probabilistic decision draws from a splitmix64 sequence seeded
+// by the caller (conventionally derived from the engine hash salt), so
+// a chaos run's fault schedule is reproducible from its seed alone.
+package fault
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure that
+// happened INSTEAD of the real operation (nothing reached the wrapped
+// layer).
+var ErrInjected = errors.New("fault: injected error")
+
+// ErrTorn is the sentinel for injected failures reported AFTER the real
+// operation landed — the ambiguous outcome: the caller sees an error,
+// but the write (or request) took effect underneath.
+var ErrTorn = errors.New("fault: torn (operation landed, then failed)")
+
+// Rand is a mutex-guarded splitmix64 sequence: cheap, deterministic,
+// and safe for concurrent injectors sharing one schedule.
+type Rand struct {
+	mu    sync.Mutex
+	state uint64
+}
+
+// NewRand seeds a sequence. Equal seeds yield equal draw sequences.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next draw.
+func (r *Rand) Uint64() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next()
+}
+
+// Float64 returns the next draw mapped to [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+func (r *Rand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

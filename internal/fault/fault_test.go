@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile("latency=2ms,jitter=5ms,reset=0.25,drop-response=0.5,cut-body=0.75,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Profile{Latency: 2 * time.Millisecond, Jitter: 5 * time.Millisecond,
+		ResetRate: 0.25, DropRate: 0.5, CutRate: 0.75, Seed: 9}
+	if p != want {
+		t.Fatalf("profile = %+v, want %+v", p, want)
+	}
+	if p, err := ParseProfile(""); err != nil || p != (Profile{}) {
+		t.Fatalf("empty spec = %+v, %v; want zero profile", p, err)
+	}
+	for _, bad := range []string{"latency", "wat=1", "reset=2", "reset=-0.1", "latency=-2ms"} {
+		if _, err := ParseProfile(bad); err == nil {
+			t.Errorf("ParseProfile(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d diverged: %d vs %d", i, av, bv)
+		}
+	}
+	if NewRand(7).Uint64() == NewRand(8).Uint64() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "0123456789abcdef0123456789abcdef")
+	}))
+	defer srv.Close()
+
+	// Deterministic response drop: the request reaches the server, the
+	// client sees a transport error carrying ErrTorn.
+	tr := NewTransport(Profile{}, nil)
+	hc := &http.Client{Transport: tr}
+	tr.DropNextResponses(1)
+	if _, err := hc.Get(srv.URL); err == nil {
+		t.Fatal("dropped response returned no error")
+	} else if !errors.Is(err, ErrTorn) {
+		t.Fatalf("dropped response error = %v, want ErrTorn", err)
+	}
+	if resp, err := hc.Get(srv.URL); err != nil {
+		t.Fatalf("after drop budget spent: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Partition: fails before the wire, lifts cleanly.
+	u, _ := hc.Get(srv.URL)
+	u.Body.Close()
+	host := u.Request.URL.Host
+	tr.Partition(host, true)
+	if _, err := hc.Get(srv.URL); err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned request error = %v, want ErrInjected", err)
+	}
+	if got := tr.PartitionedHosts(); len(got) != 1 || got[0] != host {
+		t.Fatalf("PartitionedHosts = %v", got)
+	}
+	tr.Partition(host, false)
+	if resp, err := hc.Get(srv.URL); err != nil {
+		t.Fatalf("after heal: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Reset rate 1: always fails before sending.
+	always := NewTransport(Profile{ResetRate: 1}, nil)
+	if _, err := (&http.Client{Transport: always}).Get(srv.URL); err == nil {
+		t.Fatal("reset-rate-1 request succeeded")
+	}
+
+	// Cut rate 1: body read fails partway.
+	cutter := NewTransport(Profile{CutRate: 1}, nil)
+	resp, err := (&http.Client{Transport: cutter}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("cut body read error = %v, want ErrInjected", err)
+	}
+	st := tr.Stats()
+	if st.Dropped != 1 || st.Refused != 1 {
+		t.Fatalf("stats = %+v, want 1 drop and 1 refusal", st)
+	}
+}
+
+func TestProxyModes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	target := srv.Listener.Addr().String()
+	p, err := NewProxy(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Fresh client per phase: keep-alive pools would otherwise reuse a
+	// connection the proxy already killed.
+	get := func() (string, error) {
+		hc := &http.Client{Timeout: 2 * time.Second,
+			Transport: &http.Transport{DisableKeepAlives: true}}
+		resp, err := hc.Get(p.URL())
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return string(b), err
+	}
+
+	if body, err := get(); err != nil || body != "ok" {
+		t.Fatalf("passthrough = %q, %v", body, err)
+	}
+	p.Partition(true)
+	if _, err := get(); err == nil {
+		t.Fatal("request through partitioned proxy succeeded")
+	}
+	p.Partition(false)
+	if body, err := get(); err != nil || body != "ok" {
+		t.Fatalf("after heal = %q, %v", body, err)
+	}
+
+	p.Blackhole(true)
+	hc := &http.Client{Timeout: 100 * time.Millisecond,
+		Transport: &http.Transport{DisableKeepAlives: true}}
+	if _, err := hc.Get(p.URL()); err == nil {
+		t.Fatal("blackholed request returned")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("blackholed request error = %v, want timeout", err)
+	}
+	p.Blackhole(false)
+	if body, err := get(); err != nil || body != "ok" {
+		t.Fatalf("after blackhole lift = %q, %v", body, err)
+	}
+}
+
+func TestTransportScheduleIsReproducible(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+	outcomes := func(seed uint64) []bool {
+		tr := NewTransport(Profile{ResetRate: 0.5, Seed: seed}, nil)
+		hc := &http.Client{Transport: tr}
+		var out []bool
+		for i := 0; i < 32; i++ {
+			resp, err := hc.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			out = append(out, err == nil)
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d outcome diverged across same-seed runs", i)
+		}
+	}
+}

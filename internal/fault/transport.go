@@ -1,0 +1,255 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile is a fault schedule for a Transport. Rates are probabilities
+// in [0, 1], drawn per request in a fixed order (jitter, reset, drop,
+// cut) so a given seed replays the same schedule.
+type Profile struct {
+	// Latency is added to every request; Jitter adds uniform [0, Jitter)
+	// on top.
+	Latency time.Duration
+	Jitter  time.Duration
+	// ResetRate fails the request before it is sent (connection reset:
+	// the server never saw it).
+	ResetRate float64
+	// DropRate performs the request, discards the response, and reports
+	// a transport error — the server-applied-but-client-unsure outcome
+	// that makes naive retries double-count.
+	DropRate float64
+	// CutRate truncates the response body partway through.
+	CutRate float64
+	// Seed seeds the draw sequence (used by ParseProfile/NewTransport
+	// callers; 0 is a valid seed).
+	Seed uint64
+}
+
+// ParseProfile parses the comma-separated k=v spec used by loadgen's
+// -fault-profile flag, e.g.
+//
+//	latency=2ms,jitter=5ms,reset=0.01,drop-response=0.005,cut-body=0.01,seed=7
+func ParseProfile(spec string) (Profile, error) {
+	var p Profile
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("fault profile: %q is not k=v", field)
+		}
+		var err error
+		switch k {
+		case "latency":
+			p.Latency, err = time.ParseDuration(v)
+		case "jitter":
+			p.Jitter, err = time.ParseDuration(v)
+		case "reset":
+			p.ResetRate, err = parseRate(v)
+		case "drop-response":
+			p.DropRate, err = parseRate(v)
+		case "cut-body":
+			p.CutRate, err = parseRate(v)
+		case "seed":
+			p.Seed, err = strconv.ParseUint(v, 10, 64)
+		default:
+			return Profile{}, fmt.Errorf("fault profile: unknown key %q", k)
+		}
+		if err != nil {
+			return Profile{}, fmt.Errorf("fault profile: %s: %w", k, err)
+		}
+		if p.Latency < 0 || p.Jitter < 0 {
+			return Profile{}, fmt.Errorf("fault profile: %s must not be negative", k)
+		}
+	}
+	return p, nil
+}
+
+func parseRate(v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 {
+		return 0, fmt.Errorf("rate %v outside [0, 1]", f)
+	}
+	return f, nil
+}
+
+// TransportStats counts injected faults (and clean requests).
+type TransportStats struct {
+	Requests  uint64 `json:"requests"`
+	Resets    uint64 `json:"resets"`
+	Dropped   uint64 `json:"dropped_responses"`
+	Cut       uint64 `json:"cut_bodies"`
+	Refused   uint64 `json:"partition_refusals"`
+	DelayedBy string `json:"-"`
+}
+
+// Transport injects the Profile's faults around a base RoundTripper.
+// Partition(host, true) additionally fails every request to that host
+// before it is sent, until lifted.
+type Transport struct {
+	base http.RoundTripper
+	rng  *Rand
+
+	mu          sync.Mutex
+	profile     Profile
+	partitioned map[string]bool
+	dropNext    int
+
+	requests atomic.Uint64
+	resets   atomic.Uint64
+	dropped  atomic.Uint64
+	cut      atomic.Uint64
+	refused  atomic.Uint64
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport) with profile's
+// schedule, seeded by profile.Seed.
+func NewTransport(profile Profile, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		base:        base,
+		rng:         NewRand(profile.Seed),
+		profile:     profile,
+		partitioned: make(map[string]bool),
+	}
+}
+
+// Partition fails all requests to host ("host:port" as it appears in
+// request URLs) with a transport error until lifted.
+func (t *Transport) Partition(host string, on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if on {
+		t.partitioned[host] = true
+	} else {
+		delete(t.partitioned, host)
+	}
+}
+
+// DropNextResponses makes the next n requests (any host) perform but
+// lose their responses — the deterministic knob for retry-ambiguity
+// tests, independent of the probabilistic schedule.
+func (t *Transport) DropNextResponses(n int) {
+	t.mu.Lock()
+	t.dropNext = n
+	t.mu.Unlock()
+}
+
+// Stats returns the fault counters.
+func (t *Transport) Stats() TransportStats {
+	return TransportStats{
+		Requests: t.requests.Load(),
+		Resets:   t.resets.Load(),
+		Dropped:  t.dropped.Load(),
+		Cut:      t.cut.Load(),
+		Refused:  t.refused.Load(),
+	}
+}
+
+// PartitionedHosts lists currently partitioned hosts (diagnostics).
+func (t *Transport) PartitionedHosts() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hosts := make([]string, 0, len(t.partitioned))
+	for h := range t.partitioned {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	t.mu.Lock()
+	if t.partitioned[req.URL.Host] {
+		t.mu.Unlock()
+		t.refused.Add(1)
+		return nil, fmt.Errorf("fault: host %s partitioned: %w", req.URL.Host, ErrInjected)
+	}
+	p := t.profile
+	delay := p.Latency
+	if p.Jitter > 0 {
+		delay += time.Duration(t.rng.Uint64() % uint64(p.Jitter))
+	}
+	reset := p.ResetRate > 0 && t.rng.Float64() < p.ResetRate
+	drop := p.DropRate > 0 && t.rng.Float64() < p.DropRate
+	cut := p.CutRate > 0 && t.rng.Float64() < p.CutRate
+	if t.dropNext > 0 {
+		t.dropNext--
+		drop = true
+	}
+	t.mu.Unlock()
+
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if reset {
+		t.resets.Add(1)
+		return nil, fmt.Errorf("fault: connection reset: %w", ErrInjected)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if drop {
+		// Close WITHOUT draining: a streaming response (SSE) never ends,
+		// so draining would block for the caller's full deadline. The
+		// torn connection this leaves behind is the fault being modeled.
+		resp.Body.Close()
+		t.dropped.Add(1)
+		return nil, fmt.Errorf("fault: response dropped: %w", ErrTorn)
+	}
+	if cut {
+		t.cut.Add(1)
+		n := int64(t.rng.Uint64() % 512)
+		if resp.ContentLength > 1 {
+			n = int64(t.rng.Uint64() % uint64(resp.ContentLength))
+		}
+		resp.Body = &cutBody{rc: resp.Body, remain: n}
+	}
+	return resp, nil
+}
+
+// cutBody truncates a response body after remain bytes with an error
+// (not a clean EOF — the peer "died" mid-body).
+type cutBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remain <= 0 {
+		return 0, fmt.Errorf("fault: body cut: %w", ErrInjected)
+	}
+	if int64(len(p)) > c.remain {
+		p = p[:c.remain]
+	}
+	n, err := c.rc.Read(p)
+	c.remain -= int64(n)
+	if err == nil && c.remain <= 0 {
+		err = fmt.Errorf("fault: body cut: %w", ErrInjected)
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }

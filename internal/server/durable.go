@@ -142,6 +142,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (int, err
 	counter("monest_subscribe_dropped_events_total", "Events dropped because a slow consumer's buffer was full.", float64(wire.DroppedEvents))
 	counter("monest_subscribe_heartbeats_total", "SSE keepalive comments written.", float64(wire.Heartbeats))
 	counter("monest_subscribe_resumes_total", "Subscriptions that resumed from a Last-Event-ID version.", float64(wire.Resumes))
+	counter("monest_stream_frames_deduped_total", "Stream frames skipped as idempotent replays.", float64(wire.StreamFramesDeduped))
+
+	if s.gate != nil {
+		gauge("monest_ingest_rate_limit", "Per-client ingest rate limit (updates/sec; 0 = unlimited).", s.gate.rate)
+		gauge("monest_ingest_inflight_active", "Ingest requests and streams currently holding an in-flight slot.", float64(s.gate.inflight.Load()))
+		counter("monest_ingest_rate_limited_total", "Ingest charges refused by a client's token bucket.", float64(s.gate.rateLimited.Load()))
+		counter("monest_ingest_inflight_rejected_total", "Ingest requests refused by the in-flight budget.", float64(s.gate.inflightRejected.Load()))
+	}
+
+	if s.clusterRep != nil {
+		cs := s.clusterRep.Stats()
+		counter("monest_cluster_syncs_total", "Completed cluster sync rounds.", float64(cs.Syncs))
+		counter("monest_cluster_degraded_syncs_total", "Sync rounds that served without every node (partial/quorum policy).", float64(cs.DegradedSyncs))
+		counter("monest_cluster_fetches_total", "Node sketch fetches that returned state (200).", float64(cs.Fetches))
+		counter("monest_cluster_not_modified_total", "Node sketch fetches answered 304 by the version vector.", float64(cs.NotModified))
+		counter("monest_cluster_state_bytes_total", "Sketch state bytes fetched from nodes.", float64(cs.StateBytes))
+		counter("monest_cluster_routed_updates_total", "Updates routed to owner nodes through /v1/ingest.", float64(cs.RoutedUpdates))
+		degradedNow := 0.0
+		if s.clusterRep.Degraded() != nil {
+			degradedNow = 1
+		}
+		gauge("monest_cluster_degraded", "Whether the latest merged view is missing nodes (1 = degraded).", degradedNow)
+		b = fmt.Appendf(b, "# HELP monest_cluster_node_breaker_state Circuit breaker state per node (0 closed, 1 half-open, 2 open).\n# TYPE monest_cluster_node_breaker_state gauge\n")
+		for _, n := range cs.Nodes {
+			v := map[string]int{"closed": 0, "half-open": 1, "open": 2}[n.Breaker]
+			b = fmt.Appendf(b, "monest_cluster_node_breaker_state{node=%q} %d\n", n.Node, v)
+		}
+		b = fmt.Appendf(b, "# HELP monest_cluster_node_breaker_opens_total Times each node's breaker opened.\n# TYPE monest_cluster_node_breaker_opens_total counter\n")
+		for _, n := range cs.Nodes {
+			b = fmt.Appendf(b, "monest_cluster_node_breaker_opens_total{node=%q} %d\n", n.Node, n.BreakerOpens)
+		}
+		b = fmt.Appendf(b, "# HELP monest_cluster_node_short_circuits_total Node requests skipped while the breaker was open.\n# TYPE monest_cluster_node_short_circuits_total counter\n")
+		for _, n := range cs.Nodes {
+			b = fmt.Appendf(b, "monest_cluster_node_short_circuits_total{node=%q} %d\n", n.Node, n.ShortCircuits)
+		}
+	}
 
 	b = fmt.Appendf(b, "# HELP monest_shard_mutations_total Snapshot-visible mutations per shard.\n# TYPE monest_shard_mutations_total counter\n")
 	for i, sh := range st.PerShard {

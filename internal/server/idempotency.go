@@ -1,0 +1,122 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Stream idempotency: a /v1/stream request carrying an Idempotency-Key
+// header registers per-frame digests as frames apply. When the SAME key
+// replays the stream — the cluster coordinator retrying a routed batch
+// whose response was lost in flight — frames whose (position, digest)
+// pair is already recorded are skipped: not re-applied, not charged to
+// the rate limiter, not counted by Ingests or the wire counters. That
+// makes retried routed batches exact in the COUNTERS, not just the
+// estimates (which max-weight union always kept exact). The digest
+// check also makes key collisions harmless: a colliding key with
+// different frame content simply fails the digest match and applies
+// normally.
+
+// maxIdemKeys bounds the remembered keys (LRU eviction); maxIdemFrames
+// bounds the digests per key — frames beyond it always re-apply (safe:
+// folds are idempotent; only counter exactness degrades).
+const (
+	maxIdemKeys   = 1024
+	maxIdemFrames = 1024
+)
+
+// idemRecord is one key's applied-frame digests.
+type idemRecord struct {
+	mu       sync.Mutex
+	digests  []uint64
+	lastUsed time.Time // guarded by idemStore.mu
+}
+
+// seen reports whether frame seq with digest d is already applied.
+func (r *idemRecord) seen(seq int, d uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return seq < len(r.digests) && r.digests[seq] == d
+}
+
+// applied records frame seq's digest after a successful apply. seq never
+// exceeds len(digests): skips only happen below it and each apply
+// extends it by at most one.
+func (r *idemRecord) applied(seq int, d uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case seq < len(r.digests):
+		r.digests[seq] = d
+	case seq == len(r.digests) && seq < maxIdemFrames:
+		r.digests = append(r.digests, d)
+	}
+}
+
+// idemStore maps idempotency keys to their records, bounded by LRU.
+type idemStore struct {
+	mu   sync.Mutex
+	recs map[string]*idemRecord
+}
+
+func newIdemStore() *idemStore {
+	return &idemStore{recs: make(map[string]*idemRecord)}
+}
+
+// get returns (creating if needed) the record for key.
+func (s *idemStore) get(key string) *idemRecord {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.recs[key]
+	if r == nil {
+		if len(s.recs) >= maxIdemKeys {
+			s.evictOldest()
+		}
+		r = &idemRecord{}
+		s.recs[key] = r
+	}
+	r.lastUsed = now
+	return r
+}
+
+// evictOldest drops the least-recently-used record (caller holds mu).
+func (s *idemStore) evictOldest() {
+	var oldestKey string
+	var oldest time.Time
+	for k, r := range s.recs {
+		if oldestKey == "" || r.lastUsed.Before(oldest) {
+			oldestKey, oldest = k, r.lastUsed
+		}
+	}
+	delete(s.recs, oldestKey)
+}
+
+// frameDigest fingerprints one decoded frame (FNV-1a over the update
+// tuples). Position + digest identifies a replayed frame; it is not a
+// cryptographic commitment — the threat model is a coordinator retry,
+// not an adversary forging frames.
+func frameDigest(batch []engine.Update) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(len(batch)))
+	for _, u := range batch {
+		mix(uint64(u.Instance))
+		mix(u.Key)
+		mix(math.Float64bits(u.Weight))
+	}
+	return h
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Ingest backpressure: the write path (/v1/ingest + /v1/stream) can be
+// bounded two ways, composable and both off by default —
+//
+//   - per-client token buckets (Config.IngestRate updates/sec with
+//     Config.IngestBurst capacity), keyed by client IP;
+//   - a global in-flight budget (Config.IngestInflight) counting ingest
+//     requests and open streams.
+//
+// Exceeding either answers a structured 429 with a Retry-After header
+// and a retry_after_seconds field in the error envelope; a mid-stream
+// rejection additionally reports applied_frames/applied_updates —
+// exactly the torn-frame contract, so clients resume instead of
+// guessing. internal/streamclient's Pump honors all of it.
+
+// maxClientBuckets bounds the per-client bucket map; beyond it the
+// least-recently-refilled bucket is evicted (a returning client starts
+// with a full bucket again — backpressure, not accounting).
+const maxClientBuckets = 4096
+
+// rateLimitError carries the 429 contract through the route() error
+// path: the retry hint and, for streams, the applied progress.
+type rateLimitError struct {
+	retryAfter time.Duration
+	// appliedFrames/appliedUpdates report stream progress (-1: not a
+	// stream — the envelope omits the fields).
+	appliedFrames  int
+	appliedUpdates int
+	msg            string
+}
+
+func (e *rateLimitError) Error() string { return e.msg }
+
+// bucket is one client's token bucket (updates are the token unit).
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// ingestGate enforces the backpressure contract. A nil *ingestGate is
+// inert (both limits off).
+type ingestGate struct {
+	rate        float64 // updates/sec per client; 0 = unlimited
+	burst       float64
+	maxInflight int64 // 0 = unlimited
+
+	inflight atomic.Int64
+	mu       sync.Mutex
+	buckets  map[string]*bucket
+
+	rateLimited      atomic.Uint64
+	inflightRejected atomic.Uint64
+}
+
+func newIngestGate(rate, burst float64, inflight int) *ingestGate {
+	if rate <= 0 && inflight <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = math.Max(rate, 1)
+	}
+	return &ingestGate{
+		rate:        rate,
+		burst:       burst,
+		maxInflight: int64(inflight),
+		buckets:     make(map[string]*bucket),
+	}
+}
+
+// acquire claims an in-flight slot; the caller must release() when done.
+func (g *ingestGate) acquire() bool {
+	if g.maxInflight <= 0 {
+		return true
+	}
+	if g.inflight.Add(1) > g.maxInflight {
+		g.inflight.Add(-1)
+		g.inflightRejected.Add(1)
+		return false
+	}
+	return true
+}
+
+func (g *ingestGate) release() {
+	if g.maxInflight > 0 {
+		g.inflight.Add(-1)
+	}
+}
+
+// admit charges n updates against client's bucket. A batch larger than
+// the burst is admitted whenever the bucket is full (charging the whole
+// bucket) — the gate paces throughput, it must not deadlock a legal
+// batch size. On refusal it returns how long until the charge would
+// clear.
+func (g *ingestGate) admit(client string, n int) (ok bool, retryAfter time.Duration) {
+	if g.rate <= 0 {
+		return true, 0
+	}
+	need := math.Min(float64(n), g.burst)
+	now := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: g.burst, last: now}
+		if len(g.buckets) >= maxClientBuckets {
+			g.evictOldest()
+		}
+		g.buckets[client] = b
+	}
+	b.tokens = math.Min(g.burst, b.tokens+now.Sub(b.last).Seconds()*g.rate)
+	b.last = now
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	g.rateLimited.Add(1)
+	return false, time.Duration((need - b.tokens) / g.rate * float64(time.Second))
+}
+
+// evictOldest drops the bucket refilled longest ago (caller holds mu).
+func (g *ingestGate) evictOldest() {
+	var oldestKey string
+	var oldest time.Time
+	for k, b := range g.buckets {
+		if oldestKey == "" || b.last.Before(oldest) {
+			oldestKey, oldest = k, b.last
+		}
+	}
+	delete(g.buckets, oldestKey)
+}
+
+// limited builds the 429 error for a refused charge. Stream handlers
+// pass their applied progress; /v1/ingest passes -1, -1.
+func (g *ingestGate) limited(retryAfter time.Duration, appliedFrames, appliedUpdates int, msg string) *rateLimitError {
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &rateLimitError{
+		retryAfter:     retryAfter,
+		appliedFrames:  appliedFrames,
+		appliedUpdates: appliedUpdates,
+		msg:            msg,
+	}
+}
+
+// clientKey identifies the requesting client for per-client buckets:
+// the IP of the peer (ports churn per connection).
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// setRetryHeaders mirrors a rateLimitError onto the response: the
+// Retry-After header (whole seconds, at least 1) next to the precise
+// retry_after_seconds JSON field.
+func setRetryHeaders(w http.ResponseWriter, rl *rateLimitError) {
+	secs := int(math.Ceil(rl.retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}

@@ -25,7 +25,10 @@
 //	                          without checkpointing (the cluster sketch-
 //	                          exchange ingress, sketch.go)
 //	GET  /metrics             Prometheus text exposition
-//	GET  /healthz             liveness probe
+//	GET  /healthz             liveness probe (process up; always 200)
+//	GET  /readyz              readiness probe: 503 while draining or
+//	                          while Config.Ready reports the serving
+//	                          floor unmet (cluster read policy)
 //
 // Item functions: rg (param p), rgplus (p), max, or, and, lincomb (comma
 // list c plus p). Estimators resolve through the estreg registry
@@ -55,6 +58,14 @@
 // locks, re-reduce nothing, and re-run no estimators. The Config's
 // SnapshotMaxStale bounds how stale a served snapshot may be under
 // sustained write load (0 = always exact).
+//
+// When the snapshot source serves partial cluster views (non-strict read
+// policies), every snapshot-backed response and SSE push carries an
+// explicit "degraded" block naming the missing nodes — a partial answer
+// is never presented as exact. The write path can apply backpressure
+// (Config.IngestRate/IngestBurst/IngestInflight): refused work answers a
+// structured 429 with Retry-After, and a refused stream frame reports
+// the applied progress exactly like the torn-frame contract.
 package server
 
 import (
@@ -72,6 +83,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/estreg"
 	"repro/internal/funcs"
@@ -119,6 +131,22 @@ type Server struct {
 	drainOnce      sync.Once
 	heartbeat      time.Duration
 	maxSubscribers int
+	// gate applies ingest backpressure (nil = unlimited); idem recognizes
+	// replayed /v1/stream batches by Idempotency-Key so retried routed
+	// ingest never double-counts.
+	gate *ingestGate
+	idem *idemStore
+	// ready backs /readyz (nil = ready whenever serving); clusterRep,
+	// when set, feeds the "cluster" sections of /v1/stats and /metrics.
+	ready      func(context.Context) error
+	clusterRep ClusterReporter
+}
+
+// ClusterReporter exposes coordinator state to /v1/stats and /metrics —
+// satisfied by *cluster.Coordinator.
+type ClusterReporter interface {
+	Stats() cluster.Stats
+	Degraded() *cluster.Degraded
 }
 
 // Config customizes a server beyond its engine.
@@ -154,6 +182,23 @@ type Config struct {
 	// MaxSubscribers caps concurrent /v1/subscribe connections (default
 	// 4096); beyond it new subscriptions answer 503.
 	MaxSubscribers int
+	// IngestRate caps each client's ingest throughput (updates/sec,
+	// token bucket keyed by client IP; 0 = unlimited) with IngestBurst
+	// capacity (0 = max(IngestRate, 1)). Refused work answers 429 +
+	// Retry-After.
+	IngestRate  float64
+	IngestBurst float64
+	// IngestInflight bounds concurrently-served ingest requests plus
+	// open streams (0 = unlimited); beyond it new work answers 429.
+	IngestInflight int
+	// Ready, when set, backs GET /readyz: a non-nil error answers 503.
+	// The cluster coordinator supplies its read-policy satisfiability
+	// check here; a plain node is ready once it serves (recovery
+	// completes before the listener opens).
+	Ready func(context.Context) error
+	// Cluster, when set, adds coordinator scatter-gather, breaker and
+	// degraded-read state to /v1/stats and /metrics.
+	Cluster ClusterReporter
 }
 
 // endpointMetrics counts one endpoint's traffic. Fields are atomics so
@@ -172,9 +217,17 @@ type EndpointStats struct {
 }
 
 // apiError is the structured error body: {"error": {"code", "message"}}.
+// 429 responses add the retry hint, and a refused stream frame adds the
+// applied progress (the torn-frame contract in error form).
 type apiError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RetryAfterSeconds mirrors the Retry-After header (429 only).
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
+	// AppliedFrames/AppliedUpdates report how much of a refused stream
+	// was applied before the 429 (stream rejections only).
+	AppliedFrames  *int `json:"applied_frames,omitempty"`
+	AppliedUpdates *int `json:"applied_updates,omitempty"`
 }
 
 func errCode(status int) string {
@@ -183,6 +236,8 @@ func errCode(status int) string {
 		return "not_found"
 	case status == http.StatusMethodNotAllowed:
 		return "method_not_allowed"
+	case status == http.StatusTooManyRequests:
+		return "rate_limited"
 	case status >= 400 && status < 500:
 		return "bad_request"
 	case status == http.StatusServiceUnavailable:
@@ -190,6 +245,22 @@ func errCode(status int) string {
 	default:
 		return "internal"
 	}
+}
+
+// writeError emits the structured error envelope, decorating rate-limit
+// errors with the Retry-After header and their envelope fields.
+func writeError(w http.ResponseWriter, code int, err error) {
+	body := apiError{Code: errCode(code), Message: err.Error()}
+	var rl *rateLimitError
+	if errors.As(err, &rl) {
+		setRetryHeaders(w, rl)
+		body.RetryAfterSeconds = rl.retryAfter.Seconds()
+		if rl.appliedFrames >= 0 {
+			body.AppliedFrames = &rl.appliedFrames
+			body.AppliedUpdates = &rl.appliedUpdates
+		}
+	}
+	writeJSON(w, code, map[string]apiError{"error": body})
 }
 
 // Ingestor receives the update batches /v1/ingest and /v1/stream decode.
@@ -280,6 +351,10 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 		drainCancel:    drainCancel,
 		heartbeat:      cfg.SubscribeHeartbeat,
 		maxSubscribers: cfg.MaxSubscribers,
+		gate:           newIngestGate(cfg.IngestRate, cfg.IngestBurst, cfg.IngestInflight),
+		idem:           newIdemStore(),
+		ready:          cfg.Ready,
+		clusterRep:     cfg.Cluster,
 	}
 	s.broadcast = newBroadcaster(s, cfg.SubscribeDebounce)
 	s.route("POST /v1/ingest", s.handleIngest)
@@ -296,6 +371,7 @@ func NewWith(eng *engine.Engine, cfg Config) *Server {
 	s.routeRaw("GET /v1/sketch", s.handleSketch)
 	s.routeRaw("GET /metrics", s.handleMetrics)
 	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /readyz", s.handleReadyz)
 	return s
 }
 
@@ -362,7 +438,7 @@ func (s *Server) route(pattern string, h func(*http.Request) (int, any, error)) 
 		m.latencyNS.Add(uint64(time.Since(start).Nanoseconds()))
 		if err != nil {
 			m.errors.Add(1)
-			writeJSON(w, code, map[string]apiError{"error": {Code: errCode(code), Message: err.Error()}})
+			writeError(w, code, err)
 			return
 		}
 		writeJSON(w, code, body)
@@ -383,7 +459,7 @@ func (s *Server) routeRaw(pattern string, h func(http.ResponseWriter, *http.Requ
 		m.latencyNS.Add(uint64(time.Since(start).Nanoseconds()))
 		if err != nil {
 			m.errors.Add(1)
-			writeJSON(w, code, map[string]apiError{"error": {Code: errCode(code), Message: err.Error()}})
+			writeError(w, code, err)
 		}
 	})
 }
@@ -444,12 +520,25 @@ type ingestUpdate struct {
 }
 
 func (s *Server) handleIngest(r *http.Request) (int, any, error) {
+	if s.gate != nil {
+		if !s.gate.acquire() {
+			return http.StatusTooManyRequests, nil, s.gate.limited(time.Second, -1, -1,
+				fmt.Sprintf("ingest in-flight budget (%d) exhausted", s.gate.maxInflight))
+		}
+		defer s.gate.release()
+	}
 	var req ingestRequest
 	if err := decodeStrict(r, maxIngestBody, &req); err != nil {
 		return http.StatusBadRequest, nil, err
 	}
 	if len(req.Updates) == 0 {
 		return http.StatusBadRequest, nil, errors.New("empty update batch")
+	}
+	if s.gate != nil {
+		if ok, wait := s.gate.admit(clientKey(r), len(req.Updates)); !ok {
+			return http.StatusTooManyRequests, nil, s.gate.limited(wait, -1, -1,
+				fmt.Sprintf("rate limit: %d updates exceed the client budget", len(req.Updates)))
+		}
 	}
 	batch := make([]engine.Update, len(req.Updates))
 	ingested := 0
@@ -560,7 +649,7 @@ func (s *Server) handleEstimateSum(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusBadRequest, nil, err
 	}
-	view, err := s.snaps.AcquireSnapshot(r.Context())
+	view, degraded, err := s.acquire(r.Context())
 	if err != nil {
 		return acquireStatus(err), nil, err
 	}
@@ -568,7 +657,7 @@ func (s *Server) handleEstimateSum(r *http.Request) (int, any, error) {
 	if res.Error != nil {
 		return res.status, nil, errors.New(res.Error.Message)
 	}
-	return http.StatusOK, map[string]any{
+	body := map[string]any{
 		"version":         view.Version,
 		"estimate":        *res.Estimate,
 		"estimator":       res.Estimator,
@@ -577,7 +666,11 @@ func (s *Server) handleEstimateSum(r *http.Request) (int, any, error) {
 		"keys":            len(view.Keys),
 		"sampled_entries": view.SampledEntries(),
 		"total_entries":   view.TotalEntries(),
-	}, nil
+	}
+	if degraded != nil {
+		body["degraded"] = degraded
+	}
+	return http.StatusOK, body, nil
 }
 
 func (s *Server) handleEstimateJaccard(r *http.Request) (int, any, error) {
@@ -589,7 +682,7 @@ func (s *Server) handleEstimateJaccard(r *http.Request) (int, any, error) {
 	if err != nil {
 		return http.StatusBadRequest, nil, err
 	}
-	view, err := s.snaps.AcquireSnapshot(r.Context())
+	view, degraded, err := s.acquire(r.Context())
 	if err != nil {
 		return acquireStatus(err), nil, err
 	}
@@ -597,12 +690,16 @@ func (s *Server) handleEstimateJaccard(r *http.Request) (int, any, error) {
 	if res.Error != nil {
 		return res.status, nil, errors.New(res.Error.Message)
 	}
-	return http.StatusOK, map[string]any{
+	body := map[string]any{
 		"version":   view.Version,
 		"jaccard":   *res.Estimate,
 		"estimator": res.Estimator,
 		"keys":      len(view.Keys),
-	}, nil
+	}
+	if degraded != nil {
+		body["degraded"] = degraded
+	}
+	return http.StatusOK, body, nil
 }
 
 func (s *Server) handleStats(r *http.Request) (int, any, error) {
@@ -619,21 +716,56 @@ func (s *Server) handleStats(r *http.Request) (int, any, error) {
 		endpoints[pattern] = es
 	}
 	st := s.eng.Stats()
-	return http.StatusOK, map[string]any{
+	body := map[string]any{
 		"version":        st.Version,
 		"engine":         st,
 		"estimators":     s.reg.Names(),
 		"endpoints":      endpoints,
 		"wire":           s.wire.view(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
-	}, nil
+	}
+	if s.gate != nil {
+		body["ingest_limits"] = map[string]any{
+			"rate":                    s.gate.rate,
+			"burst":                   s.gate.burst,
+			"inflight_max":            s.gate.maxInflight,
+			"inflight_active":         s.gate.inflight.Load(),
+			"rate_limited_total":      s.gate.rateLimited.Load(),
+			"inflight_rejected_total": s.gate.inflightRejected.Load(),
+		}
+	}
+	if s.clusterRep != nil {
+		cl := map[string]any{"stats": s.clusterRep.Stats()}
+		if d := s.clusterRep.Degraded(); d != nil {
+			cl["degraded"] = d
+		}
+		body["cluster"] = cl
+	}
+	return http.StatusOK, body, nil
 }
 
 // handleHealthz deliberately skips checkParams: liveness probes may
 // append cache-busting or tagging parameters, and a 400 here would flip
-// an orchestrator's view of a healthy instance.
+// an orchestrator's view of a healthy instance. It answers 200 for the
+// whole process lifetime, drain included — liveness means "do not
+// restart me", not "send me traffic"; that is /readyz.
 func (s *Server) handleHealthz(*http.Request) (int, any, error) {
 	return http.StatusOK, map[string]string{"status": "ok"}, nil
+}
+
+// handleReadyz is the readiness probe: 503 while draining or while the
+// configured readiness check fails (a cluster coordinator that cannot
+// meet its read-policy floor). Like /healthz it skips checkParams.
+func (s *Server) handleReadyz(r *http.Request) (int, any, error) {
+	if s.draining() {
+		return http.StatusServiceUnavailable, nil, errDraining
+	}
+	if s.ready != nil {
+		if err := s.ready(r.Context()); err != nil {
+			return http.StatusServiceUnavailable, nil, fmt.Errorf("not ready: %w", err)
+		}
+	}
+	return http.StatusOK, map[string]string{"status": "ready"}, nil
 }
 
 func finite(x float64) error {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/estreg"
 )
@@ -29,6 +30,27 @@ import (
 // shutdown cancels in-flight node traffic; local sources ignore it.
 type SnapshotSource interface {
 	AcquireSnapshot(ctx context.Context) (engine.SnapshotView, error)
+}
+
+// DegradedSource is the optional refinement a cluster-backed source
+// implements: acquisition also reports whether the view is missing
+// node contributions (a coordinator serving under a partial/quorum
+// read policy). Snapshot-backed responses attach the non-nil block
+// verbatim, so a consumer can always tell a complete answer from a
+// lower-bound one. *cluster.Coordinator implements it.
+type DegradedSource interface {
+	AcquireSnapshotDegraded(ctx context.Context) (engine.SnapshotView, *cluster.Degraded, error)
+}
+
+// acquire is how every snapshot-consuming endpoint obtains its view:
+// through the source's degraded-aware path when it has one, with a nil
+// degraded block (a complete view) otherwise.
+func (s *Server) acquire(ctx context.Context) (engine.SnapshotView, *cluster.Degraded, error) {
+	if ds, ok := s.snaps.(DegradedSource); ok {
+		return ds.AcquireSnapshotDegraded(ctx)
+	}
+	view, err := s.snaps.AcquireSnapshot(ctx)
+	return view, nil, err
 }
 
 // cachedSource is the default source: the engine's lock-free versioned

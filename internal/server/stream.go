@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/store"
 )
@@ -29,7 +30,16 @@ import (
 // A torn frame, checksum mismatch or invalid update aborts the stream
 // with a 400 whose message counts the frames already applied — applied
 // frames stay applied (the stream is not transactional, exactly like
-// sequential /v1/ingest batches).
+// sequential /v1/ingest batches). A rate-limited frame aborts the same
+// way with a 429 carrying Retry-After plus applied_frames /
+// applied_updates in the envelope, so a client resumes from exact
+// progress instead of guessing.
+//
+// A request may carry an Idempotency-Key header: frames the server
+// already applied under that key (same position, same content digest)
+// are skipped — not re-applied, not rate-charged, not re-counted — so a
+// coordinator retrying a routed batch whose response was lost keeps the
+// node's counters exact (see idempotency.go).
 
 // wireStats counts streaming-ingest and subscription traffic; all fields
 // are atomics shared by handlers, the broadcaster and /v1/stats.
@@ -37,6 +47,7 @@ type wireStats struct {
 	streamsActive atomic.Int64
 	streamFrames  atomic.Uint64
 	streamUpdates atomic.Uint64
+	streamDeduped atomic.Uint64
 
 	subsActive atomic.Int64
 	pushed     atomic.Uint64
@@ -54,6 +65,9 @@ type WireStats struct {
 	// frames and the updates they carried.
 	StreamFrames  uint64 `json:"stream_frames"`
 	StreamUpdates uint64 `json:"stream_updates"`
+	// StreamFramesDeduped counts frames skipped because an earlier
+	// request with the same Idempotency-Key already applied them.
+	StreamFramesDeduped uint64 `json:"stream_frames_deduped"`
 	// ActiveSubscribers gauges open /v1/subscribe connections.
 	ActiveSubscribers int64 `json:"active_subscribers"`
 	// PushedEvents counts estimate events delivered into subscriber
@@ -75,15 +89,16 @@ type WireStats struct {
 
 func (w *wireStats) view() WireStats {
 	return WireStats{
-		ActiveStreams:     w.streamsActive.Load(),
-		StreamFrames:      w.streamFrames.Load(),
-		StreamUpdates:     w.streamUpdates.Load(),
-		ActiveSubscribers: w.subsActive.Load(),
-		PushedEvents:      w.pushed.Load(),
-		CoalescedEvents:   w.coalesced.Load(),
-		DroppedEvents:     w.dropped.Load(),
-		Heartbeats:        w.heartbeats.Load(),
-		Resumes:           w.resumes.Load(),
+		ActiveStreams:       w.streamsActive.Load(),
+		StreamFrames:        w.streamFrames.Load(),
+		StreamUpdates:       w.streamUpdates.Load(),
+		StreamFramesDeduped: w.streamDeduped.Load(),
+		ActiveSubscribers:   w.subsActive.Load(),
+		PushedEvents:        w.pushed.Load(),
+		CoalescedEvents:     w.coalesced.Load(),
+		DroppedEvents:       w.dropped.Load(),
+		Heartbeats:          w.heartbeats.Load(),
+		Resumes:             w.resumes.Load(),
 	}
 }
 
@@ -95,11 +110,29 @@ func (s *Server) handleStream(r *http.Request) (int, any, error) {
 		return http.StatusUnsupportedMediaType, nil,
 			fmt.Errorf("content type %q (want %s)", ct, store.StreamContentType)
 	}
+	if s.gate != nil {
+		if !s.gate.acquire() {
+			return http.StatusTooManyRequests, nil,
+				s.gate.limited(time.Second, 0, 0,
+					fmt.Sprintf("ingest in-flight budget (%d) exhausted", s.gate.maxInflight))
+		}
+		defer s.gate.release()
+	}
+	// An Idempotency-Key makes replayed frames (same position, same
+	// digest) no-ops; the coordinator's routed retries rely on this.
+	var rec *idemRecord
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		rec = s.idem.get(key)
+	}
+	client := clientKey(r)
+
 	s.wire.streamsActive.Add(1)
 	defer s.wire.streamsActive.Add(-1)
 
 	sc := store.NewFrameScanner(r.Body)
 	frames, updates := 0, 0
+	skippedFrames, skippedUpdates := 0, 0
+	seq := 0 // frame position in the stream, skipped frames included
 	draining := false
 	for {
 		// Check the drain gate between frames (never mid-frame): on
@@ -119,21 +152,48 @@ func (s *Server) handleStream(r *http.Request) (int, any, error) {
 		}
 		if err != nil {
 			return http.StatusBadRequest, nil,
-				fmt.Errorf("frame %d: %w (%d updates from %d frames already applied)", frames, err, updates, frames)
+				fmt.Errorf("frame %d: %w (%d updates from %d frames already applied)", seq, err, updates, frames)
+		}
+		var digest uint64
+		if rec != nil {
+			digest = frameDigest(batch)
+			if rec.seen(seq, digest) {
+				// Already applied by an earlier attempt under this key:
+				// skip — no engine apply, no counters, no token charge.
+				seq++
+				skippedFrames++
+				skippedUpdates += len(batch)
+				s.wire.streamDeduped.Add(1)
+				continue
+			}
+		}
+		if s.gate != nil {
+			if ok, retryAfter := s.gate.admit(client, len(batch)); !ok {
+				return http.StatusTooManyRequests, nil,
+					s.gate.limited(retryAfter, frames, updates,
+						fmt.Sprintf("frame %d: rate limit: %d updates exceed the client budget (%d updates from %d frames already applied)",
+							seq, len(batch), updates, frames))
+			}
 		}
 		if err := s.ingest.IngestBatch(r.Context(), batch); err != nil {
 			return ingestStatus(err), nil,
-				fmt.Errorf("frame %d: %w (%d updates from %d frames already applied)", frames, err, updates, frames)
+				fmt.Errorf("frame %d: %w (%d updates from %d frames already applied)", seq, err, updates, frames)
 		}
+		if rec != nil {
+			rec.applied(seq, digest)
+		}
+		seq++
 		frames++
 		updates += len(batch)
 		s.wire.streamFrames.Add(1)
 		s.wire.streamUpdates.Add(uint64(len(batch)))
 	}
 	return http.StatusOK, map[string]any{
-		"frames":   frames,
-		"updates":  updates,
-		"draining": draining,
+		"frames":          frames,
+		"updates":         updates,
+		"skipped_frames":  skippedFrames,
+		"skipped_updates": skippedUpdates,
+		"draining":        draining,
 	}, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/engine"
 )
 
@@ -241,7 +242,7 @@ func (b *broadcaster) debounceWait(sig <-chan struct{}) bool {
 func (b *broadcaster) round() {
 	// No request context covers the push loop; the drain context cancels
 	// a round's in-flight cluster scatter-gather on shutdown.
-	view, err := b.s.snaps.AcquireSnapshot(b.s.drainCtx)
+	view, degraded, err := b.s.acquire(b.s.drainCtx)
 	if err != nil {
 		return
 	}
@@ -253,7 +254,7 @@ func (b *broadcaster) round() {
 		}
 		data, ok := encoded[sub.shareKey]
 		if !ok {
-			data = b.s.encodePush(sub.queries, view, memo)
+			data = b.s.encodePush(sub.queries, view, memo, degraded)
 			encoded[sub.shareKey] = data
 		}
 		if sub.advance(view.Version) {
@@ -264,16 +265,18 @@ func (b *broadcaster) round() {
 
 // encodePush evaluates the queries against the view and encodes the SSE
 // data payload — the exact result objects POST /v1/query returns for the
-// same specs at the same version.
-func (s *Server) encodePush(queries []*plannedQuery, view engine.SnapshotView, memo *resultMemo) []byte {
+// same specs at the same version, including the degraded block when the
+// view was assembled without every cluster node.
+func (s *Server) encodePush(queries []*plannedQuery, view engine.SnapshotView, memo *resultMemo, degraded *cluster.Degraded) []byte {
 	results := make([]queryResult, len(queries))
 	for i, q := range queries {
 		results[i] = s.evalMemoized(q, view, memo)
 	}
 	data, err := json.Marshal(struct {
-		Version uint64        `json:"version"`
-		Results []queryResult `json:"results"`
-	}{view.Version, results})
+		Version  uint64            `json:"version"`
+		Results  []queryResult     `json:"results"`
+		Degraded *cluster.Degraded `json:"degraded,omitempty"`
+	}{view.Version, results, degraded})
 	if err != nil {
 		// queryResult always marshals; a failure here is a programming
 		// error surfaced to the subscriber rather than a silent stall.
@@ -399,14 +402,14 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) (int, e
 	// Registration precedes the initial push, so a mutation landing in
 	// between reaches this subscriber through the broadcaster; advance()
 	// keeps the two paths from reordering versions on the wire.
-	view, err := s.snaps.AcquireSnapshot(r.Context())
+	view, degraded, err := s.acquire(r.Context())
 	if err != nil {
 		return acquireStatus(err), err // deferred unregister cleans up
 	}
 	if sub.advance(view.Version) {
 		sub.deliver(pushEvent{
 			version: view.Version,
-			data:    s.encodePush(queries, view, s.memoFor(view.Version)),
+			data:    s.encodePush(queries, view, s.memoFor(view.Version), degraded),
 		}, &s.wire)
 	}
 

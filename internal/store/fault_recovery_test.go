@@ -1,0 +1,190 @@
+package store_test
+
+// Crash-recovery property test under injected store faults: a journal
+// that fails, tears, or refuses checkpoints mid-run must still recover
+// to exactly the surviving durable prefix. External package: the fault
+// toolkit imports internal/store, so this test cannot live inside it.
+//
+// The oracle is built from the per-update fault outcomes:
+//
+//   - a successful Ingest is durable (journaled, applied);
+//   - a TORN append (fault.ErrTorn: the WAL record landed, then the
+//     fault surfaced) is rejected by the live engine but survives in
+//     the WAL — recovery must resurrect it, UNLESS a later successful
+//     checkpoint pruned it (the checkpoint cut the live state, which
+//     never held the torn update);
+//   - a FAILED append (fault.ErrInjected: nothing reached the WAL)
+//     vanishes entirely;
+//   - a failed checkpoint prunes nothing and changes nothing.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/sampling"
+	"repro/internal/store"
+)
+
+func newFaultTestEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(engine.Config{
+		Instances: 3,
+		K:         8,
+		Shards:    4,
+		Hash:      sampling.NewSeedHash(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFaultInjectedCrashRecovery(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			eng := newFaultTestEngine(t)
+			inner, err := store.Open(dir, store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := fault.WrapStore(inner, seed, fault.StoreFaults{
+				AppendFailRate:     0.08,
+				AppendTornRate:     0.08,
+				CheckpointFailRate: 0.5,
+			})
+			p, _, err := store.Attach(eng, fs)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(int64(seed)))
+			var applied []engine.Update // ingests the engine accepted
+			var tornTail []engine.Update
+			var fails, torn, ckptFails, ckptOK int
+			for i := 0; i < 3000; i++ {
+				u := engine.Update{
+					Instance: rng.Intn(3),
+					Key:      uint64(rng.Intn(500)),
+					Weight:   rng.Float64() * 10,
+				}
+				err := eng.Ingest(u.Instance, u.Key, u.Weight)
+				switch {
+				case err == nil:
+					applied = append(applied, u)
+				case errors.Is(err, fault.ErrTorn):
+					torn++
+					tornTail = append(tornTail, u)
+				case errors.Is(err, fault.ErrInjected):
+					fails++ // never durable
+				default:
+					t.Fatalf("update %d: unexpected error: %v", i, err)
+				}
+				if i%500 == 499 {
+					if _, err := p.Checkpoint(); err == nil {
+						ckptOK++
+						// The checkpoint cut the LIVE state and pruned the
+						// WAL under it: torn records so far are gone for good.
+						tornTail = tornTail[:0]
+					} else if errors.Is(err, fault.ErrInjected) {
+						ckptFails++
+					} else {
+						t.Fatalf("checkpoint: %v", err)
+					}
+				}
+			}
+			if fails == 0 || torn == 0 {
+				t.Fatalf("seed %d drew no faults (fails=%d torn=%d) — rates too low to test anything", seed, fails, torn)
+			}
+			t.Logf("seed %d: %d applied, %d failed, %d torn (%d in tail), checkpoints %d ok / %d failed",
+				seed, len(applied), fails, torn, len(tornTail), ckptOK, ckptFails)
+
+			// Crash: abandon without flushing or checkpointing, exactly like
+			// the in-package crash() stand-in for SIGKILL.
+			_ = p
+
+			oracle := newFaultTestEngine(t)
+			for _, u := range append(append([]engine.Update{}, applied...), tornTail...) {
+				if err := oracle.Ingest(u.Instance, u.Key, u.Weight); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			rec := newFaultTestEngine(t)
+			st2, err := store.Open(dir, store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, stats, err := store.Attach(rec, st2)
+			if err != nil {
+				t.Fatalf("recovering after injected faults: %v", err)
+			}
+			defer p2.Close()
+			if len(tornTail) > 0 && stats.Updates == 0 {
+				t.Fatal("torn appends in the WAL tail but recovery replayed nothing")
+			}
+			if !reflect.DeepEqual(rec.Snapshot(), oracle.Snapshot()) {
+				t.Fatalf("seed %d: recovered state differs from the surviving-prefix oracle", seed)
+			}
+		})
+	}
+}
+
+// TestFaultStoreCheckpointFailureLeavesWAL pins the failed-checkpoint
+// contract deterministically: an injected checkpoint error must prune
+// nothing, so a crash right after still recovers every journaled update.
+func TestFaultStoreCheckpointFailureLeavesWAL(t *testing.T) {
+	dir := t.TempDir()
+	eng := newFaultTestEngine(t)
+	inner, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fault.WrapStore(inner, 1, fault.StoreFaults{CheckpointFailRate: 1})
+	p, _, err := store.Attach(eng, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	oracle := newFaultTestEngine(t)
+	for i := 0; i < 400; i++ {
+		u := engine.Update{Instance: rng.Intn(3), Key: uint64(rng.Intn(200)), Weight: rng.Float64() * 10}
+		if err := eng.Ingest(u.Instance, u.Key, u.Weight); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Ingest(u.Instance, u.Key, u.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Checkpoint(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("checkpoint error = %v, want injected", err)
+	}
+	if st := fs.Stats(); st.CheckpointFails != 1 {
+		t.Fatalf("checkpoint fails = %d, want 1", st.CheckpointFails)
+	}
+
+	rec := newFaultTestEngine(t)
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, stats, err := store.Attach(rec, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if stats.CheckpointSeq != 0 {
+		t.Fatalf("failed checkpoint left seq %d", stats.CheckpointSeq)
+	}
+	if stats.Updates != 400 {
+		t.Fatalf("replayed %d updates, want 400", stats.Updates)
+	}
+	if !reflect.DeepEqual(rec.Snapshot(), oracle.Snapshot()) {
+		t.Fatal("recovery after failed checkpoint lost updates")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/store"
@@ -21,9 +22,79 @@ import (
 
 // StreamSummary is the server's response to a finished ingest stream.
 type StreamSummary struct {
-	Frames   int  `json:"frames"`
-	Updates  int  `json:"updates"`
-	Draining bool `json:"draining"`
+	Frames  int `json:"frames"`
+	Updates int `json:"updates"`
+	// SkippedFrames/SkippedUpdates count frames the server recognized as
+	// idempotent replays (same Idempotency-Key, position and digest) and
+	// did not re-apply.
+	SkippedFrames  int  `json:"skipped_frames"`
+	SkippedUpdates int  `json:"skipped_updates"`
+	Draining       bool `json:"draining"`
+}
+
+// StreamError is a structured stream rejection decoded from the server's
+// error envelope — the 429 backpressure contract in client form. A
+// stream that dies with a transport error (no HTTP response) yields a
+// plain error instead.
+type StreamError struct {
+	Status  int
+	Code    string
+	Message string
+	// RetryAfter is the server's retry hint (zero when absent).
+	RetryAfter time.Duration
+	// AppliedFrames/AppliedUpdates report how much of the stream the
+	// server applied before rejecting (-1: the envelope omitted them —
+	// not a mid-stream rejection).
+	AppliedFrames  int
+	AppliedUpdates int
+}
+
+func (e *StreamError) Error() string {
+	return fmt.Sprintf("stream: status %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// RateLimited reports whether the rejection is the backpressure 429 the
+// client should back off and retry.
+func (e *StreamError) RateLimited() bool { return e.Status == http.StatusTooManyRequests }
+
+// parseStreamError decodes the server's error envelope; ok=false means
+// the body was not the structured envelope (fall back to raw text).
+func parseStreamError(status int, body []byte) (*StreamError, bool) {
+	var env struct {
+		Error struct {
+			Code              string  `json:"code"`
+			Message           string  `json:"message"`
+			RetryAfterSeconds float64 `json:"retry_after_seconds"`
+			AppliedFrames     *int    `json:"applied_frames"`
+			AppliedUpdates    *int    `json:"applied_updates"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+		return nil, false
+	}
+	se := &StreamError{
+		Status:         status,
+		Code:           env.Error.Code,
+		Message:        env.Error.Message,
+		RetryAfter:     time.Duration(env.Error.RetryAfterSeconds * float64(time.Second)),
+		AppliedFrames:  -1,
+		AppliedUpdates: -1,
+	}
+	if env.Error.AppliedFrames != nil {
+		se.AppliedFrames = *env.Error.AppliedFrames
+	}
+	if env.Error.AppliedUpdates != nil {
+		se.AppliedUpdates = *env.Error.AppliedUpdates
+	}
+	return se, true
+}
+
+// StreamOptions tunes OpenStreamWith.
+type StreamOptions struct {
+	// IdempotencyKey, when non-empty, rides as the Idempotency-Key
+	// header: replaying the same stream under the same key makes
+	// already-applied frames no-ops on the server.
+	IdempotencyKey string
 }
 
 // Stream is one open binary ingest connection. Send frames with Send;
@@ -47,6 +118,11 @@ type streamResult struct {
 // connection carries an unbounded update stream with the server applying
 // batches as they arrive.
 func OpenStream(ctx context.Context, client *http.Client, baseURL string) (*Stream, error) {
+	return OpenStreamWith(ctx, client, baseURL, StreamOptions{})
+}
+
+// OpenStreamWith is OpenStream with options (idempotency key).
+func OpenStreamWith(ctx context.Context, client *http.Client, baseURL string, opts StreamOptions) (*Stream, error) {
 	if client == nil {
 		client = http.DefaultClient
 	}
@@ -57,6 +133,9 @@ func OpenStream(ctx context.Context, client *http.Client, baseURL string) (*Stre
 		return nil, err
 	}
 	req.Header.Set("Content-Type", store.StreamContentType)
+	if opts.IdempotencyKey != "" {
+		req.Header.Set("Idempotency-Key", opts.IdempotencyKey)
+	}
 	s := &Stream{pw: pw, resp: make(chan streamResult, 1)}
 	go func() {
 		resp, err := client.Do(req)
@@ -69,8 +148,14 @@ func OpenStream(ctx context.Context, client *http.Client, baseURL string) (*Stre
 		defer resp.Body.Close()
 		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		if resp.StatusCode != http.StatusOK {
-			pr.CloseWithError(fmt.Errorf("stream rejected: %s", strings.TrimSpace(string(body))))
-			s.resp <- streamResult{err: fmt.Errorf("stream: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))}
+			var rejection error
+			if se, ok := parseStreamError(resp.StatusCode, body); ok {
+				rejection = se
+			} else {
+				rejection = fmt.Errorf("stream: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+			}
+			pr.CloseWithError(rejection)
+			s.resp <- streamResult{err: rejection}
 			return
 		}
 		if rerr != nil {
@@ -127,6 +212,9 @@ type Event struct {
 type Push struct {
 	Version uint64            `json:"version"`
 	Results []json.RawMessage `json:"results"`
+	// Degraded is the raw degraded block when the push was evaluated
+	// from a view missing cluster nodes (absent otherwise).
+	Degraded json.RawMessage `json:"degraded,omitempty"`
 }
 
 // Subscription is one open /v1/subscribe connection.
